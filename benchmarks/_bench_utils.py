@@ -1,0 +1,59 @@
+"""Printing helpers shared by the figure/table benchmarks.
+
+Everything printed is also appended to ``bench_results.txt`` in the
+repository root (truncated once per run), so the reproduced tables survive
+even when pytest's output capture is on (run with ``-s`` to also see them
+live). The file is the machine-readable companion to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, Optional, Sequence, TextIO
+
+_results_file: Optional[TextIO] = None
+
+
+def _results_stream() -> TextIO:
+    global _results_file
+    if _results_file is None:
+        path = os.environ.get(
+            "REPRO_BENCH_RESULTS",
+            os.path.join(os.path.dirname(__file__), "..", "bench_results.txt"),
+        )
+        _results_file = open(os.path.normpath(path), "w")
+    return _results_file
+
+
+def emit(text: str = "") -> None:
+    print(text)
+    sys.stdout.flush()
+    stream = _results_stream()
+    stream.write(text + "\n")
+    stream.flush()
+
+
+def print_header(title: str) -> None:
+    emit()
+    emit("=" * 74)
+    emit(title)
+    emit("=" * 74)
+
+
+def print_rows(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> None:
+    widths = {
+        col: max(len(col), *(len(_fmt(row.get(col))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    emit(header)
+    emit("-" * len(header))
+    for row in rows:
+        emit("  ".join(_fmt(row.get(col)).ljust(widths[col]) for col in columns))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,34 @@
+"""Shared machinery for the figure/table reproduction benchmarks.
+
+Every file in this directory regenerates one table or figure of the
+paper's evaluation (§7): it runs the experiment on the simulated testbed,
+prints the same rows/series the paper reports, and asserts the *shape*
+(who wins, by roughly what factor, where crossovers fall). Absolute
+numbers come from a simulator calibrated per DESIGN.md, not the authors'
+hardware.
+
+Run with ``pytest benchmarks/ --benchmark-only``; the printed tables are
+collected into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Wrap a whole-experiment callable so pytest-benchmark times one run."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,96 @@
+"""Ablation: lease duration vs. failover recovery time and renewal load.
+
+DESIGN.md calls out the lease period (1 s in the prototype, renewals every
+half period) as the central tunable: §7.3 notes recovery time "is affected
+both by the core switch's failure detection/rerouting time and RedPlane's
+lease period". Shorter leases recover faster but renew more often; longer
+leases amortize renewals but leave flows frozen at the store for longer
+after a failure.
+"""
+
+from __future__ import annotations
+
+from repro import RedPlaneConfig, Simulator, deploy
+from repro.core.app import AppVerdict
+from repro.apps.counter import SyncCounterApp
+from repro.net.packet import Packet
+
+from _bench_utils import emit, print_header, print_rows
+
+
+class ReadMostlyApp(SyncCounterApp):
+    """Writes once per flow, then reads only — so lease maintenance comes
+    from explicit renewals (§5.3's every-half-period mechanism), not from
+    write-side renewal at the store."""
+
+    name = "read-mostly"
+
+    def process(self, state, pkt, ctx, switch):
+        if not state.get("count"):
+            state.set("count", 1)
+        return AppVerdict.FORWARD
+
+LEASES_US = [100_000.0, 300_000.0, 1_000_000.0, 2_000_000.0]
+DETECT_US = 50_000.0  # fast detection isolates the lease contribution
+
+
+def measure(lease_us: float):
+    """Time from switch failure until the first packet flows again."""
+    sim = Simulator(seed=7)
+    dep = deploy(
+        sim,
+        ReadMostlyApp,
+        config=RedPlaneConfig(lease_period_us=lease_us,
+                              renew_interval_us=lease_us / 2),
+    )
+    e1, s11 = dep.bed.externals[0], dep.bed.servers[0]
+    delivered = []
+    s11.default_handler = lambda pkt: delivered.append(sim.now)
+
+    # Steady traffic so the owner keeps renewing (every lease/2).
+    def traffic(i):
+        pkt = Packet.udp(e1.ip, s11.ip, 5555, 7777)
+        e1.send(pkt)
+
+    period = 10_000.0
+    for i in range(1000):
+        sim.schedule(i * period, traffic, i)
+    fail_at = 3.05 * lease_us + 20_000.0  # mid-lease, after renewals
+    sim.run(until=fail_at)
+    owner = max(dep.engines.values(), key=lambda e: e.stats["app_packets"])
+    dep.bed.topology.fail_node(owner.switch, detect_delay_us=DETECT_US)
+    sim.run(until=fail_at + 3 * lease_us + 2_000_000.0)
+
+    after = [t for t in delivered if t > fail_at]
+    recovery_us = (after[0] - fail_at) if after else float("inf")
+    renewals = sum(e.stats["lease_renewals"] for e in dep.engines.values())
+    return recovery_us, renewals
+
+
+def test_ablation_lease_period(run_once):
+    def experiment():
+        return {lease: measure(lease) for lease in LEASES_US}
+
+    results = run_once(experiment)
+    print_header("Ablation — lease period vs recovery time")
+    rows = []
+    for lease, (recovery, renewals) in results.items():
+        rows.append({
+            "lease (ms)": lease / 1000.0,
+            "recovery after failure (ms)": recovery / 1000.0,
+            "renewals sent": renewals,
+        })
+    print_rows(rows, ["lease (ms)", "recovery after failure (ms)",
+                      "renewals sent"])
+    emit("expected: recovery bounded by ~remaining lease; short leases "
+          "recover fast but renew often")
+
+    recoveries = [results[lease][0] for lease in LEASES_US]
+    # Recovery never exceeds detection + one full lease period (+slack).
+    for lease, rec in zip(LEASES_US, recoveries):
+        assert rec <= DETECT_US + lease + 100_000.0, (lease, rec)
+    # Longer leases recover more slowly (monotone within tolerance).
+    assert recoveries[0] < recoveries[-1]
+    # Shorter leases renew more often (strictly, for a read-only flow).
+    assert results[LEASES_US[0]][1] > results[LEASES_US[-1]][1]
+    assert results[LEASES_US[0]][1] > 0

@@ -1,0 +1,5 @@
+"""Shim so editable installs work in offline environments without `wheel`."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""Replication-bandwidth accounting (Figs 10 and 11).
+
+Fig 10 reports, per application, the share of a switch's traffic that is
+RedPlane protocol bytes (requests sent plus responses received, full
+packets including piggybacked payloads) — measured here straight from the
+:class:`~repro.switch.asic.SwitchASIC` byte counters.
+
+Fig 11 reports the absolute bandwidth of periodic snapshot replication as
+a function of snapshot frequency and sketch count. The paper counts
+RedPlane *header* bytes (~22 B per slot message: seq + type + flow key +
+one 32-bit value), giving 34.16 Mbps for 3x64 slots at 1 kHz; the model
+here reproduces that accounting and is cross-checked against packet-level
+simulation in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.switch.asic import SwitchASIC
+
+#: RedPlane header bytes for a one-value snapshot message:
+#: seq(4) + type(1) + flags(1) + aux(2) + flow key(13) + nvals(1) + val(4).
+SNAPSHOT_HEADER_BYTES = 26
+
+
+def protocol_share(switches: Iterable[SwitchASIC]) -> float:
+    """Fraction of total traffic that is protocol bytes (Fig 10's metric)."""
+    protocol = 0
+    original = 0
+    for sw in switches:
+        protocol += sw.bytes_protocol_out + sw.bytes_protocol_in
+        original += sw.bytes_original_out
+    total = protocol + original
+    return protocol / total if total else 0.0
+
+
+def fig10_row(switches: Iterable[SwitchASIC]) -> Dict[str, float]:
+    """The three Fig 10 bar components, as fractions of total bytes."""
+    req = sum(sw.bytes_protocol_out for sw in switches)
+    resp = sum(sw.bytes_protocol_in for sw in switches)
+    orig = sum(sw.bytes_original_out for sw in switches)
+    total = req + resp + orig
+    if total == 0:
+        return {"original": 0.0, "requests": 0.0, "responses": 0.0}
+    return {
+        "original": orig / total,
+        "requests": req / total,
+        "responses": resp / total,
+    }
+
+
+def snapshot_bandwidth_mbps(
+    num_sketches: int,
+    slots_per_sketch: int,
+    snapshot_hz: float,
+    per_slot_bytes: int = SNAPSHOT_HEADER_BYTES,
+) -> float:
+    """Analytic snapshot-replication bandwidth (Fig 11's model).
+
+    One message per slot per snapshot; bandwidth grows linearly in both
+    the snapshot frequency and the number of sketches.
+    """
+    bytes_per_snapshot = num_sketches * slots_per_sketch * per_slot_bytes
+    return bytes_per_snapshot * 8 * snapshot_hz / 1e6
+
+
+def fig11_series(
+    sketch_counts: List[int],
+    frequencies_hz: List[float],
+    slots_per_sketch: int = 64,
+) -> Dict[int, List[float]]:
+    """Fig 11's line series: sketches -> bandwidth (Mbps) per frequency."""
+    return {
+        n: [snapshot_bandwidth_mbps(n, slots_per_sketch, f) for f in frequencies_hz]
+        for n in sketch_counts
+    }

@@ -1,0 +1,119 @@
+"""Terminal plotting: CDFs, line series, and timelines without matplotlib.
+
+The benchmarks print the paper's tables; these helpers render the *shapes*
+(Fig 8/9 CDFs, Fig 14's goodput timeline) as ASCII so a reproduction run
+is visually comparable to the paper's figures straight from the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.stats import cdf_points
+
+
+def ascii_cdf(
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    x_label: str = "us",
+) -> str:
+    """Render one or more latency distributions as an ASCII CDF plot.
+
+    Each series gets a distinct marker; x is the value axis (optionally
+    log-scaled, as Fig 8 plots it), y is the cumulative fraction.
+    """
+    import math
+
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "*o+x#@%&"
+    all_values = [v for samples in series.values() for v in samples]
+    lo, hi = min(all_values), max(all_values)
+    if log_x:
+        lo = max(lo, 1e-9)
+        to_x = lambda v: math.log10(max(v, lo))
+        lo_t, hi_t = to_x(lo), to_x(hi)
+    else:
+        to_x = lambda v: v
+        lo_t, hi_t = lo, hi
+    span = max(hi_t - lo_t, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, samples), marker in zip(series.items(), markers):
+        for value, frac in cdf_points(samples):
+            col = int((to_x(value) - lo_t) / span * (width - 1))
+            row = height - 1 - int(frac * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    for i, row in enumerate(grid):
+        frac = 1.0 - i / (height - 1)
+        lines.append(f"{frac:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    scale = "log10 " if log_x else ""
+    lines.append(f"      {scale}{x_label}: {lo:.3g} .. {hi:.3g}")
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _s), marker in zip(series.items(), markers)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 14,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render (x, y) line series — e.g. Fig 13's throughput curves."""
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "*o+x#@%&"
+    xs = [x for pts in series.values() for x, _y in pts]
+    ys = [y for pts in series.values() for _x, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = [f"{y_hi:10.3g} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_lo:10.3g} |" + "".join(grid[-1]))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + f"{x_label}: {x_lo:.3g} .. {x_hi:.3g}   ({y_label})")
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _p), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def ascii_timeline(
+    points: Sequence[Tuple[float, float]],
+    width_per_point: int = 1,
+    bar_width: int = 48,
+    events: Dict[float, str] = None,
+    unit: str = "Gbps",
+) -> str:
+    """Render a goodput-over-time bar timeline (the Fig 14 shape)."""
+    if not points:
+        raise ValueError("no points")
+    peak = max(y for _t, y in points) or 1.0
+    events = events or {}
+    lines = []
+    for t, y in points:
+        bar = "#" * int(y / peak * bar_width)
+        note = ""
+        for et, label in events.items():
+            if abs(t - et) < 1e-9:
+                note = f"  <-- {label}"
+        lines.append(f"{t:7.2f}s {y:7.2f} {unit} |{bar}{note}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Latency statistics helpers: percentiles and CDFs for the Fig 8/9 plots."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """The p-th percentile (0-100) with linear interpolation."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """The percentiles the paper quotes: p50, p90, p99, plus extremes."""
+    return {
+        "p50": percentile(samples, 50),
+        "p90": percentile(samples, 90),
+        "p99": percentile(samples, 99),
+        "min": min(samples),
+        "max": max(samples),
+        "mean": sum(samples) / len(samples),
+        "count": float(len(samples)),
+    }
+
+
+def cdf_points(samples: Sequence[float]) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs for plotting a CDF."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    return [(value, (i + 1) / n) for i, value in enumerate(ordered)]
+
+
+def format_cdf_row(name: str, samples: Sequence[float], unit: str = "us") -> str:
+    """One printable row of a latency comparison table."""
+    s = summarize(samples)
+    return (
+        f"{name:<28s} p50={s['p50']:8.1f}{unit}  p90={s['p90']:8.1f}{unit}  "
+        f"p99={s['p99']:8.1f}{unit}  n={int(s['count'])}"
+    )

@@ -1,0 +1,77 @@
+"""Stateful firewall (§6, application 2).
+
+Tracks per-connection TCP state: connections initiated from the internal
+network are allowed; unsolicited inbound traffic is dropped. The
+connection table is per-5-tuple hard state — after a switch failure,
+without RedPlane the replacement switch would drop every established
+connection's inbound packets (Table 1: "Connection broken").
+
+State is written once, when the internal SYN establishes the connection
+(read-centric thereafter), and the table restore goes through the control
+plane like any match-table state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.packet import FlowKey, Packet, TCPHeader, TCP_FIN, TCP_RST, TCP_SYN
+from repro.apps.nat import is_internal
+from repro.core.app import AppVerdict, InSwitchApp
+from repro.core.flowstate import FlowStateView, StateSpec
+
+# Connection states tracked per flow.
+STATE_NEW = 0
+STATE_ESTABLISHED = 1
+STATE_CLOSED = 2
+
+
+class FirewallApp(InSwitchApp):
+    """Allow internally initiated TCP connections, drop the rest."""
+
+    name = "firewall"
+    state_spec = StateSpec.of(("conn_state", STATE_NEW),)
+    requires_control_plane_install = True
+
+    def __init__(self) -> None:
+        self.allowed = 0
+        self.blocked = 0
+
+    def partition_key(self, pkt: Packet) -> Optional[FlowKey]:
+        if pkt.ip is None or not isinstance(pkt.l4, TCPHeader):
+            return None
+        return pkt.flow_key().canonical()
+
+    def process(self, state: FlowStateView, pkt, ctx, switch) -> AppVerdict:
+        outbound = is_internal(pkt.ip.src)
+        conn = state.get("conn_state")
+
+        if outbound:
+            if conn == STATE_NEW and pkt.l4.has(TCP_SYN):
+                # Internal SYN opens the pinhole: the one state write.
+                state.set("conn_state", STATE_ESTABLISHED)
+            elif conn == STATE_ESTABLISHED and pkt.l4.has(TCP_RST):
+                state.set("conn_state", STATE_CLOSED)
+            self.allowed += 1
+            return AppVerdict.FORWARD
+
+        # Inbound: only established connections pass.
+        if conn == STATE_ESTABLISHED:
+            if pkt.l4.has(TCP_RST) or pkt.l4.has(TCP_FIN):
+                # Remote teardown is allowed through; we keep the pinhole
+                # until the internal side confirms (simplified teardown).
+                self.allowed += 1
+                return AppVerdict.FORWARD
+            self.allowed += 1
+            return AppVerdict.FORWARD
+        self.blocked += 1
+        return AppVerdict.DROP
+
+    def resource_usage(self) -> dict:
+        return {
+            "sram_bits": 4096 * 136,
+            "match_crossbar_bits": 104,
+            "hash_bits": 104,
+            "vliw_instructions": 4,
+            "gateways": 5,
+        }

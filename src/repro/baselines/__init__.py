@@ -1,0 +1,41 @@
+"""Fault-tolerance baselines: §2.2 strawmen and the Fig 8 comparators."""
+
+from repro.baselines.chain_switches import (
+    CHAIN_SWITCH_PORT,
+    SwitchChainBackup,
+    SwitchChainHead,
+    memory_overhead,
+)
+from repro.baselines.controller_ft import (
+    CheckpointingAgent,
+    ControllerFtBlock,
+    ExternalController,
+)
+from repro.baselines.ftmb import sample_latencies as ftmb_sample_latencies
+from repro.baselines.rollback import PacketLogger
+from repro.baselines.server_nf import (
+    NF_REPL_PORT,
+    NF_TUNNEL_PORT,
+    ServerNat,
+    install_nf_routes,
+    tunnel_to_nf,
+)
+from repro.baselines.switch_noft import PlainAppBlock
+
+__all__ = [
+    "CHAIN_SWITCH_PORT",
+    "SwitchChainBackup",
+    "SwitchChainHead",
+    "memory_overhead",
+    "CheckpointingAgent",
+    "ControllerFtBlock",
+    "ExternalController",
+    "ftmb_sample_latencies",
+    "PacketLogger",
+    "NF_REPL_PORT",
+    "NF_TUNNEL_PORT",
+    "ServerNat",
+    "install_nf_routes",
+    "tunnel_to_nf",
+    "PlainAppBlock",
+]

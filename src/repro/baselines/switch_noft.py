@@ -1,0 +1,93 @@
+"""Plain in-switch application without fault tolerance.
+
+The "Switch-NAT" baseline of Fig 8 and the "w/o RedPlane" side of Fig 12:
+the application runs with purely switch-local state. First packets of new
+flows still pay the control-plane slow path when the app's state lives in
+match tables (as a real P4 NAT does), which is what drives the baseline's
+own 99th-percentile latency. All state is lost if the switch fails.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.net.packet import FlowKey, Packet
+from repro.switch.asic import SwitchASIC
+from repro.switch.pipeline import ControlBlock, PipelineContext, Verdict
+from repro.core.app import AppVerdict, InSwitchApp
+
+
+class PlainAppBlock(ControlBlock):
+    """Runs an :class:`InSwitchApp` with local, unreplicated state."""
+
+    name = "plain-app"
+
+    def __init__(
+        self,
+        switch: SwitchASIC,
+        app: InSwitchApp,
+        allocator: Optional[Callable[[FlowKey], List[int]]] = None,
+    ) -> None:
+        self.switch = switch
+        self.app = app
+        #: Local allocator standing in for global state (e.g. a DIP pool)
+        #: that the RedPlane deployment would keep at the state store.
+        self.allocator = allocator
+        self.state: Dict[FlowKey, List[int]] = {}
+        self._installed: Set[FlowKey] = set()
+        self.packets = 0
+        self.slow_path_packets = 0
+
+    def process(self, ctx: PipelineContext, switch: SwitchASIC) -> bool:
+        pkt = ctx.pkt
+        key = self.app.partition_key(pkt)
+        if key is None:
+            return True
+        self.packets += 1
+
+        if key not in self.state:
+            if self.allocator is not None:
+                vals = list(self.allocator(key))
+            else:
+                init = self.app.initial_state(key)
+                vals = init if init is not None else self.app.state_spec.default_vals()
+            self.state[key] = vals
+            if self.app.requires_control_plane_install and not pkt.meta.get(
+                "noft_reinjected"
+            ):
+                # New-flow slow path: the entry is installed through the
+                # switch control plane; the packet waits for the install.
+                self.slow_path_packets += 1
+                self.switch.control_plane.submit(self._finish_install, key, pkt)
+                ctx.consume()
+                return False
+            self._installed.add(key)
+
+        return self._run_app(ctx, key)
+
+    def _finish_install(self, key: FlowKey, pkt: Packet) -> None:
+        self._installed.add(key)
+        pkt.meta["noft_reinjected"] = True
+        self.switch.inject(pkt)
+
+    def _run_app(self, ctx: PipelineContext, key: FlowKey) -> bool:
+        from repro.core.flowstate import FlowStateView
+
+        view = FlowStateView(self.app.state_spec, self.state[key])
+        verdict = self.app.process(view, ctx.pkt, ctx, self.switch)
+        if view.write_occurred:
+            self.state[key] = view.vals()
+        if verdict is AppVerdict.DROP:
+            ctx.drop()
+            return False
+        return True
+
+    def lose_all_state(self) -> int:
+        """Fail-stop semantics: everything is gone. Returns entries lost."""
+        lost = len(self.state)
+        self.state.clear()
+        self._installed.clear()
+        return lost
+
+    def resource_usage(self) -> dict:
+        return self.app.resource_usage()

@@ -1,0 +1,732 @@
+"""The RedPlane protocol engine: the switch-side data-plane component.
+
+This control block is the reproduction of the paper's ``RedPlaneIngress`` /
+``RedPlaneEgress`` P4 control blocks (Appendix B). It wraps a developer's
+:class:`~repro.core.app.InSwitchApp` and implements, entirely in the data
+plane:
+
+* **lease-based state ownership** (§5.3) — a packet may only touch state
+  while this switch holds the flow's lease; otherwise a lease request is
+  sent to the state store with the packet piggybacked, and the store's
+  buffering of that request doubles as state migration during failover;
+* **piggybacking** (§5.1) — output packets ride inside replication
+  requests and are released only when the acknowledgment returns, using
+  the network + store DRAM as delay-line memory instead of switch buffer;
+* **sequencing** (§5.2) — per-flow monotonically increasing sequence
+  numbers let the store discard stale updates despite reordering;
+* **switch-side retransmission** (§5.2) — a *truncated* copy of every
+  replication request circulates through an egress-to-egress mirror
+  session and is resent if no acknowledgment arrives in time;
+* **read gating** — packets that only read state pass through at line
+  rate (the zero-overhead fast path of Fig 8/9) unless a state update is
+  still in flight, in which case they are buffered through the network
+  with a special request type until the latest update is acknowledged.
+
+Per-flow protocol state (lease expiry, current sequence number, last
+acknowledged sequence number) lives in register arrays, sized by
+``max_flows`` — exactly the SRAM the paper's Table 2 accounts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.net import constants
+from repro.net.packet import FlowKey, Packet, UDPHeader
+from repro.switch.asic import SwitchASIC
+from repro.switch.pipeline import ControlBlock, PipelineContext
+from repro.switch.registers import RegisterArray
+from repro.core.app import AppVerdict, InSwitchApp
+from repro.core.flowstate import FlowStateView
+from repro.core.protocol import (
+    MessageType,
+    RedPlaneMessage,
+    STORE_UDP_PORT,
+    SWITCH_UDP_PORT,
+    make_protocol_packet,
+    pack_packets,
+    parse_protocol_packet,
+    unpack_packets,
+)
+from repro.statestore.server import CHAIN_UDP_PORT
+from repro.statestore.sharding import ShardMap
+
+#: UDP ports whose traffic is never treated as application traffic.
+_PROTOCOL_PORTS = {STORE_UDP_PORT, SWITCH_UDP_PORT, CHAIN_UDP_PORT}
+
+#: aux value marking a read-buffer request whose packet has not been
+#: processed yet (it arrived while the flow's lease was still pending).
+_AUX_UNPROCESSED = 1
+
+
+class RedPlaneMode(enum.Enum):
+    """The two consistency modes of §4."""
+
+    LINEARIZABLE = "linearizable"
+    BOUNDED_INCONSISTENCY = "bounded"
+
+
+@dataclass
+class RedPlaneConfig:
+    """Tunable protocol parameters (defaults match the prototype)."""
+
+    mode: RedPlaneMode = RedPlaneMode.LINEARIZABLE
+    lease_period_us: float = constants.LEASE_PERIOD_US
+    renew_interval_us: float = constants.LEASE_RENEW_INTERVAL_US
+    retransmit_timeout_us: float = constants.RETRANSMIT_TIMEOUT_US
+    #: Retransmission backoff: each resend multiplies the timeout by this
+    #: factor (capped) so a request buffered at the store for a full lease
+    #: period does not generate tens of thousands of duplicates.
+    retransmit_backoff: float = 2.0
+    retransmit_timeout_max_us: float = 5_000.0
+    max_flows: int = 4096
+    #: Safety margin subtracted from the switch's view of its own lease so
+    #: it always expires locally before it does at the store.
+    lease_margin_us: float = 10_000.0
+    #: Record input/output events for linearizability checking.
+    record_history: bool = True
+
+
+@dataclass
+class HistoryEvent:
+    """One event of a history (Definition 2): an input or an output."""
+
+    kind: str  # "input" | "output"
+    key: FlowKey
+    trace_id: int
+    time: float
+    switch: str
+    info: Tuple = ()
+
+
+class RedPlaneEngine(ControlBlock):
+    """RedPlane-enabled application: protocol engine wrapping an app."""
+
+    name = "redplane"
+
+    def __init__(
+        self,
+        switch: SwitchASIC,
+        app: InSwitchApp,
+        shard_map: ShardMap,
+        config: Optional[RedPlaneConfig] = None,
+    ) -> None:
+        self.switch = switch
+        self.app = app
+        self.shard_map = shard_map
+        self.config = config or RedPlaneConfig()
+        cfg = self.config
+
+        # Flow-key -> register index. Models the hash-indexed flow table.
+        self._flow_idx: Dict[FlowKey, int] = {}
+        self._idx_key: Dict[int, FlowKey] = {}
+        self._next_idx = 0
+        self._free_indices: List[int] = []
+
+        n = cfg.max_flows
+        self.reg_lease_expiry = RegisterArray(f"{switch.name}.rp.lease_expiry", n, 64)
+        self.reg_cur_seq = RegisterArray(f"{switch.name}.rp.cur_seq", n, 32)
+        self.reg_last_acked = RegisterArray(f"{switch.name}.rp.last_acked", n, 32)
+        self.reg_lease_pending = RegisterArray(f"{switch.name}.rp.lease_pending", n, 1)
+        self.reg_last_renew = RegisterArray(f"{switch.name}.rp.last_renew", n, 64)
+        # Application per-flow state values, one register array per field.
+        self.state_regs = [
+            RegisterArray(f"{switch.name}.rp.state.{fname}", n, 32)
+            for fname, _default in app.state_spec.fields
+        ]
+        self._state_installed: Set[int] = set()
+
+        # Egress-to-egress mirror session used as the retransmission buffer;
+        # copies are truncated to the protocol headers (§5.2) — the mirror
+        # buffers ~the RedPlane header, never payload.
+        self.mirror = switch.new_mirror_session(truncate_to_bytes=48)
+        self.mirror.handler = self._mirror_pass
+
+        #: Invoked for snapshot acknowledgments (bounded-inconsistency mode).
+        self.snapshot_ack_handler: Optional[Callable[[RedPlaneMessage], None]] = None
+
+        #: Per-flow outstanding explicit renewals (cleared by renew acks).
+        self._renew_outstanding: Set[int] = set()
+
+        # Circulating mirror copies, released as their acks arrive: the
+        # hardware drops an acknowledged copy on its next egress pass; the
+        # simulator collapses that to an immediate release.
+        self._copies_write: Dict[int, Dict[int, object]] = {}
+        self._copy_lease: Dict[int, object] = {}
+        self._copy_renew: Dict[int, object] = {}
+        self._copies_snapshot: Dict[Tuple[FlowKey, int], object] = {}
+
+        self.history: List[HistoryEvent] = []
+        self.stats: Dict[str, int] = {
+            "app_packets": 0,
+            "fast_path_forwards": 0,
+            "writes_replicated": 0,
+            "reads_buffered": 0,
+            "lease_requests": 0,
+            "lease_renewals": 0,
+            "retransmissions": 0,
+            "acks_received": 0,
+            "piggybacks_released": 0,
+            "stale_acks_ignored": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # pipeline entry point
+    # ------------------------------------------------------------------
+
+    def process(self, ctx: PipelineContext, switch: SwitchASIC) -> bool:
+        pkt = ctx.pkt
+        if self._is_protocol_packet(pkt):
+            if (
+                pkt.ip is not None
+                and pkt.ip.dst == self.switch.ip
+                and isinstance(pkt.l4, UDPHeader)
+                and pkt.l4.dport == SWITCH_UDP_PORT
+            ):
+                self._handle_response(ctx)
+                ctx.consume()
+                return False
+            # Protocol traffic in transit (other switches / store chain):
+            # forward untouched, never app-processed.
+            return True
+
+        key = self.app.partition_key(pkt)
+        if key is None:
+            return True  # not application traffic
+
+        self.stats["app_packets"] += 1
+        if not pkt.meta.get("rp_reinjected"):
+            self._record("input", key, pkt)
+
+        if self.config.mode is RedPlaneMode.BOUNDED_INCONSISTENCY:
+            # Bounded mode has no per-packet coordination at all (§4.4):
+            # state lives in lazy-snapshot structures replicated
+            # asynchronously, several switches may update their own copies
+            # concurrently, and recovery restores the last snapshot — so
+            # no lease, no sequencing, no piggybacking on this path.
+            return self._bounded_path(ctx, key)
+
+        idx = self._flow_index(key)
+        now = self.switch.sim.now
+
+        lease_expiry = self.reg_lease_expiry.read(ctx, idx)
+        if lease_expiry <= now:
+            self._no_lease_path(ctx, key, idx, now)
+            return False
+
+        return self._leased_path(ctx, key, idx, now)
+
+    # ------------------------------------------------------------------
+    # packet paths
+    # ------------------------------------------------------------------
+
+    def _no_lease_path(
+        self, ctx: PipelineContext, key: FlowKey, idx: int, now: float
+    ) -> None:
+        """No valid lease: request one, piggybacking the packet (§5.1/§5.3)."""
+        pending = self.reg_lease_pending.access(ctx, idx, lambda old: (1, old))
+        msg = RedPlaneMessage(
+            seq=0,
+            msg_type=MessageType.LEASE_NEW_REQ,
+            flow_key=key,
+            piggyback=pack_packets([ctx.pkt.to_bytes()]),
+        )
+        self._send_request(ctx, msg)
+        self.stats["lease_requests"] += 1
+        if not pending:
+            # Only the first request per flow is retransmitted; piggybacked
+            # packets on later requests may be lost, which the correctness
+            # model permits (a lost input, §4.2).
+            self._mirror_request(msg, kind="lease_new", idx=idx)
+        ctx.consume()
+
+    def _bounded_path(self, ctx: PipelineContext, key: FlowKey) -> bool:
+        """Bounded-inconsistency fast path: run the app, forward, done."""
+        idx = self._flow_index(key)
+        vals = [reg.cp_read(idx) for reg in self.state_regs]
+        view = FlowStateView(self.app.state_spec, vals)
+        verdict = self.app.process(view, ctx.pkt, ctx, self.switch)
+        if view.write_occurred:
+            for reg, new_val in zip(self.state_regs, view.vals()):
+                reg.access(ctx, idx, lambda _old, v=new_val: (v, v))
+        if verdict is AppVerdict.DROP:
+            ctx.drop()
+            return False
+        self.stats["fast_path_forwards"] += 1
+        self._record("output", key, ctx.pkt)
+        return True
+
+    def _leased_path(
+        self, ctx: PipelineContext, key: FlowKey, idx: int, now: float
+    ) -> bool:
+        """Lease held: run the application, then replicate if it wrote."""
+        pkt = ctx.pkt
+        vals = [reg.cp_read(idx) for reg in self.state_regs]
+        view = FlowStateView(self.app.state_spec, vals)
+        verdict = self.app.process(view, pkt, ctx, self.switch)
+
+        wrote = view.write_occurred and self.config.mode is RedPlaneMode.LINEARIZABLE
+        if view.write_occurred:
+            # Commit new values to the state registers: one atomic RMW per
+            # array for this packet (the cp_read above models the read
+            # phase of the same stateful-ALU operation).
+            new_vals = view.vals()
+            for reg, new_val in zip(self.state_regs, new_vals):
+                reg.access(ctx, idx, lambda _old, v=new_val: (v, v))
+
+        if wrote:
+            seq = self.reg_cur_seq.access(ctx, idx, lambda old: (old + 1, old + 1))
+            # Every output derived from this packet — the forwarded packet
+            # and anything the app emitted (Definition 1 allows multiple
+            # outputs) — is withheld inside the replication request until
+            # the update is durable.
+            outputs = []
+            if verdict is AppVerdict.FORWARD:
+                outputs.append(pkt.to_bytes())
+            outputs.extend(out.to_bytes() for out in ctx.emitted)
+            ctx.emitted.clear()
+            msg = RedPlaneMessage(
+                seq=seq,
+                msg_type=MessageType.REPL_WRITE_REQ,
+                flow_key=key,
+                vals=view.vals(),
+                piggyback=pack_packets(outputs) if outputs else None,
+            )
+            self._send_request(ctx, msg)
+            self._mirror_request(msg, kind="write", idx=idx, seq=seq)
+            self.stats["writes_replicated"] += 1
+            ctx.consume()
+            return False
+
+        if verdict is AppVerdict.DROP:
+            ctx.drop()
+            return False
+
+        # Read-only packet. If an update is still in flight, its effects
+        # are not durable yet: buffer this packet through the network until
+        # the latest replication request is acknowledged (§5.1).
+        cur_seq = self.reg_cur_seq.read(ctx, idx)
+        last_acked = self.reg_last_acked.read(ctx, idx)
+        if last_acked < cur_seq:
+            msg = RedPlaneMessage(
+                seq=cur_seq,
+                msg_type=MessageType.READ_BUFFER_REQ,
+                flow_key=key,
+                piggyback=pack_packets([pkt.to_bytes()]),
+            )
+            self._send_request(ctx, msg)
+            self.stats["reads_buffered"] += 1
+            ctx.consume()
+            return False
+
+        self._maybe_renew_lease(ctx, key, idx, now)
+        self.stats["fast_path_forwards"] += 1
+        self._record("output", key, pkt)
+        return True  # line-rate fast path: normal L3 forwarding
+
+    def _maybe_renew_lease(
+        self, ctx: PipelineContext, key: FlowKey, idx: int, now: float
+    ) -> None:
+        """Explicit renewal for read-centric flows, every 0.5 s (§5.3)."""
+        interval = self.config.renew_interval_us
+
+        def rmw(last: int) -> Tuple[int, int]:
+            if now - last >= interval:
+                return int(now), 1
+            return last, 0
+
+        due = self.reg_last_renew.access(ctx, idx, rmw)
+        if due:
+            msg = RedPlaneMessage(
+                seq=0, msg_type=MessageType.LEASE_RENEW_REQ, flow_key=key
+            )
+            self._send_request(ctx, msg)
+            self._renew_outstanding.add(idx)
+            self._mirror_request(msg, kind="renew", idx=idx)
+            self.stats["lease_renewals"] += 1
+
+    # ------------------------------------------------------------------
+    # responses from the state store
+    # ------------------------------------------------------------------
+
+    def _handle_response(self, ctx: PipelineContext) -> None:
+        msg = parse_protocol_packet(ctx.pkt)
+        self.stats["acks_received"] += 1
+
+        if msg.msg_type is MessageType.SNAPSHOT_REPL_ACK:
+            copy = self._copies_snapshot.get((msg.flow_key, msg.aux))
+            if copy is not None and copy.meta.get("seq", 0) <= msg.seq:
+                self.mirror.release(copy)
+                del self._copies_snapshot[(msg.flow_key, msg.aux)]
+            if self.snapshot_ack_handler is not None:
+                self.snapshot_ack_handler(msg)
+            return
+
+        idx = self._flow_idx.get(msg.flow_key)
+        if idx is None:
+            self.stats["stale_acks_ignored"] += 1
+            return
+        now = self.switch.sim.now
+
+        if msg.msg_type is MessageType.LEASE_NEW_ACK:
+            self._handle_lease_new_ack(ctx, msg, idx, now)
+        elif msg.msg_type is MessageType.REPL_WRITE_ACK:
+            self._handle_write_ack(ctx, msg, idx, now)
+        elif msg.msg_type is MessageType.LEASE_RENEW_ACK:
+            self._renew_outstanding.discard(idx)
+            copy = self._copy_renew.pop(idx, None)
+            if copy is not None:
+                self.mirror.release(copy)
+            self._extend_lease(ctx, idx, now)
+        elif msg.msg_type is MessageType.READ_BUFFER_ACK:
+            self._handle_read_buffer_ack(ctx, msg, idx)
+        else:
+            self.stats["stale_acks_ignored"] += 1
+
+    def _handle_lease_new_ack(
+        self, ctx: PipelineContext, msg: RedPlaneMessage, idx: int, now: float
+    ) -> None:
+        copy = self._copy_lease.pop(idx, None)
+        if copy is not None:
+            self.mirror.release(copy)
+        was_pending = self.reg_lease_pending.access(ctx, idx, lambda old: (0, old))
+        if was_pending:
+            # Install the returned state (migration) or initialize fresh
+            # state; never clobber state we already own (a late duplicate
+            # ack must not roll back newer local updates).
+            if msg.vals:
+                for reg, val in zip(self.state_regs, msg.vals):
+                    reg.cp_write(idx, val)
+            else:
+                init = self.app.initial_state(msg.flow_key)
+                vals = init if init is not None else self.app.state_spec.default_vals()
+                for reg, val in zip(self.state_regs, vals):
+                    reg.cp_write(idx, val)
+            self.reg_cur_seq.cp_write(idx, msg.seq)
+            self.reg_last_acked.cp_write(idx, msg.seq)
+            self._extend_lease(ctx, idx, now)
+            if (
+                self.app.requires_control_plane_install
+                and idx not in self._state_installed
+            ):
+                # Match-table state (e.g. NAT translation entries) must be
+                # installed through the switch control plane; the held
+                # packet is released only once the install completes.
+                self.switch.control_plane.submit(
+                    self._finish_install, idx, msg.piggyback
+                )
+                return
+            self._state_installed.add(idx)
+        else:
+            self._extend_lease(ctx, idx, now)
+        self._reinject_piggyback(msg.piggyback)
+
+    def _finish_install(self, idx: int, piggyback: Optional[bytes]) -> None:
+        self._state_installed.add(idx)
+        self._reinject_piggyback(piggyback)
+
+    def _handle_write_ack(
+        self, ctx: PipelineContext, msg: RedPlaneMessage, idx: int, now: float
+    ) -> None:
+        self.reg_last_acked.access(
+            ctx, idx, lambda old: (max(old, msg.seq), max(old, msg.seq))
+        )
+        # The ack covers every copy with seq <= acked: release them.
+        copies = self._copies_write.get(idx)
+        if copies:
+            for seq in [s for s in copies if s <= msg.seq]:
+                self.mirror.release(copies.pop(seq))
+        self._extend_lease(ctx, idx, now)
+        if msg.piggyback is not None:
+            for raw in unpack_packets(msg.piggyback):
+                out = Packet.from_bytes(raw)
+                self.stats["piggybacks_released"] += 1
+                self._record("output", msg.flow_key, out)
+                ctx.emit(out)
+
+    def _handle_read_buffer_ack(
+        self, ctx: PipelineContext, msg: RedPlaneMessage, idx: int
+    ) -> None:
+        if msg.piggyback is None:
+            return
+        if msg.aux == _AUX_UNPROCESSED:
+            # The packet was never processed (lease was pending when it
+            # arrived); run it through the pipeline again.
+            for raw in unpack_packets(msg.piggyback):
+                pkt = Packet.from_bytes(raw)
+                pkt.meta["rp_reinjected"] = True
+                self.switch.inject(pkt)
+            return
+        last_acked = self.reg_last_acked.read(ctx, idx)
+        if last_acked >= msg.seq:
+            for raw in unpack_packets(msg.piggyback):
+                out = Packet.from_bytes(raw)
+                self.stats["piggybacks_released"] += 1
+                self._record("output", msg.flow_key, out)
+                ctx.emit(out)
+        else:
+            # The gating update is still unacknowledged: bounce the packet
+            # through the network again.
+            again = RedPlaneMessage(
+                seq=msg.seq,
+                msg_type=MessageType.READ_BUFFER_REQ,
+                flow_key=msg.flow_key,
+                piggyback=msg.piggyback,
+            )
+            self._send_request(ctx, again)
+            self.stats["reads_buffered"] += 1
+
+    def _reinject_piggyback(self, piggyback: Optional[bytes]) -> None:
+        if piggyback is None:
+            return
+        for raw in unpack_packets(piggyback):
+            pkt = Packet.from_bytes(raw)
+            pkt.meta["rp_reinjected"] = True
+            self.switch.inject(pkt)
+
+    # ------------------------------------------------------------------
+    # request transmission and retransmission
+    # ------------------------------------------------------------------
+
+    def _send_request(self, ctx: Optional[PipelineContext], msg: RedPlaneMessage) -> None:
+        shard = self.shard_map.shard_for(msg.flow_key)
+        pkt = make_protocol_packet(self.switch.ip, shard.ip, msg, dport=shard.udp_port)
+        if ctx is not None:
+            ctx.emit(pkt)
+        else:
+            self.switch.emit_from_pipeline(pkt)
+
+    def send_snapshot_request(self, msg: RedPlaneMessage, retransmit: bool = True) -> None:
+        """Used by the snapshot replicator (§5.4) to ship one slot value."""
+        self._send_request(None, msg)
+        if retransmit:
+            self._mirror_request(msg, kind="snapshot", idx=-1, seq=msg.seq)
+
+    def _mirror_request(
+        self, msg: RedPlaneMessage, kind: str, idx: int, seq: int = 0
+    ) -> None:
+        """Mirror a truncated copy of a request for retransmission (§5.2)."""
+        header_only = RedPlaneMessage(
+            seq=msg.seq,
+            msg_type=msg.msg_type,
+            flow_key=msg.flow_key,
+            vals=list(msg.vals),
+            piggyback=None,
+            aux=msg.aux,
+        )
+        shard = self.shard_map.shard_for(msg.flow_key)
+        pkt = make_protocol_packet(
+            self.switch.ip, shard.ip, header_only, dport=shard.udp_port
+        )
+        copy = self.mirror.mirror(
+            pkt,
+            meta={
+                "kind": kind,
+                "idx": idx,
+                "seq": seq,
+                "ts": self.switch.sim.now,
+                "timeout": self.config.retransmit_timeout_us,
+                "msg": header_only,
+            },
+        )
+        if kind == "write":
+            self._copies_write.setdefault(idx, {})[seq] = copy
+        elif kind == "lease_new":
+            self._copy_lease[idx] = copy
+        elif kind == "renew":
+            self._copy_renew[idx] = copy
+        elif kind == "snapshot":
+            self._copies_snapshot[(msg.flow_key, msg.aux)] = copy
+
+    def _mirror_pass(self, pkt: Packet, meta: Dict[str, object]) -> bool:
+        """One egress pass of a circulating truncated request copy."""
+        ctx = PipelineContext(pkt=pkt, now=self.switch.sim.now)
+        if self._mirror_acked(ctx, meta):
+            return False
+        now = self.switch.sim.now
+        timeout = float(meta["timeout"])  # type: ignore[arg-type]
+        if now - float(meta["ts"]) >= timeout:  # type: ignore[arg-type]
+            msg: RedPlaneMessage = meta["msg"]  # type: ignore[assignment]
+            self._send_request(None, msg)
+            self.stats["retransmissions"] += 1
+            meta["ts"] = now
+            meta["timeout"] = min(
+                timeout * self.config.retransmit_backoff,
+                self.config.retransmit_timeout_max_us,
+            )
+        # Skip the no-op recirculation passes until the deadline.
+        meta["next_pass_us"] = max(
+            0.0, float(meta["ts"]) + float(meta["timeout"]) - now
+        )
+        return True
+
+    def _mirror_acked(self, ctx: PipelineContext, meta: Dict[str, object]) -> bool:
+        kind = meta["kind"]
+        idx = int(meta["idx"])  # type: ignore[arg-type]
+        if kind == "write":
+            return self.reg_last_acked.read(ctx, idx) >= int(meta["seq"])  # type: ignore[arg-type]
+        if kind == "lease_new":
+            return self.reg_lease_pending.read(ctx, idx) == 0
+        if kind == "renew":
+            return idx not in self._renew_outstanding
+        if kind == "snapshot":
+            if self.snapshot_ack_handler is None:
+                return True
+            msg: RedPlaneMessage = meta["msg"]  # type: ignore[assignment]
+            acked = getattr(self.snapshot_ack_handler, "is_acked", None)
+            if acked is None:
+                return True
+            return acked(msg)
+        raise AssertionError(f"unknown mirror kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # misc helpers
+    # ------------------------------------------------------------------
+
+    def _extend_lease(self, ctx: PipelineContext, idx: int, now: float) -> None:
+        # The safety margin must leave a usable lease window: clamp it to
+        # half the period (a margin >= the period would make the switch
+        # disbelieve every lease it is granted and loop on re-acquisition).
+        margin = min(self.config.lease_margin_us,
+                     self.config.lease_period_us / 2.0)
+        expiry = int(now + self.config.lease_period_us - margin)
+        self.reg_lease_expiry.access(
+            ctx, idx, lambda old: (max(old, expiry), max(old, expiry))
+        )
+
+    def _flow_index(self, key: FlowKey) -> int:
+        idx = self._flow_idx.get(key)
+        if idx is None:
+            if self._free_indices:
+                idx = self._free_indices.pop()
+            elif self._next_idx < self.config.max_flows:
+                idx = self._next_idx
+                self._next_idx += 1
+            else:
+                raise RuntimeError(
+                    f"{self.switch.name}: flow table full "
+                    f"({self.config.max_flows} flows)"
+                )
+            self._flow_idx[key] = idx
+            self._idx_key[idx] = key
+        return idx
+
+    def reclaim_idle_flows(self, idle_us: Optional[float] = None) -> int:
+        """Free flow-table entries whose lease lapsed long ago.
+
+        The per-flow SRAM is a fixed-size resource (Table 2 sizes it at
+        ``max_flows``); a production deployment reclaims entries for dead
+        flows from the control plane. An entry is reclaimable once its
+        lease has been expired for ``idle_us`` (default: one lease period
+        — by then the store would re-grant from scratch anyway) and it has
+        no in-flight protocol activity. Returns the number reclaimed.
+        """
+        if idle_us is None:
+            idle_us = self.config.lease_period_us
+        now = self.switch.sim.now
+        reclaimed = 0
+        for key, idx in list(self._flow_idx.items()):
+            expiry = self.reg_lease_expiry.cp_read(idx)
+            busy = (
+                self.reg_lease_pending.cp_read(idx) == 1
+                or idx in self._copy_lease
+                or idx in self._copy_renew
+                or self._copies_write.get(idx)
+                or self.reg_last_acked.cp_read(idx)
+                < self.reg_cur_seq.cp_read(idx)
+            )
+            if busy or expiry + idle_us > now:
+                continue
+            # Scrub the entry: registers back to defaults, index recycled.
+            self.reg_lease_expiry.cp_write(idx, 0)
+            self.reg_cur_seq.cp_write(idx, 0)
+            self.reg_last_acked.cp_write(idx, 0)
+            self.reg_lease_pending.cp_write(idx, 0)
+            self.reg_last_renew.cp_write(idx, 0)
+            for reg in self.state_regs:
+                reg.cp_write(idx, 0)
+            self._state_installed.discard(idx)
+            del self._flow_idx[key]
+            del self._idx_key[idx]
+            self._free_indices.append(idx)
+            reclaimed += 1
+        return reclaimed
+
+    @staticmethod
+    def _is_protocol_packet(pkt: Packet) -> bool:
+        return (
+            isinstance(pkt.l4, UDPHeader)
+            and (pkt.l4.dport in _PROTOCOL_PORTS or pkt.l4.sport in _PROTOCOL_PORTS)
+        )
+
+    def _record(self, kind: str, key: FlowKey, pkt: Packet) -> None:
+        if not self.config.record_history:
+            return
+        trace_id = pkt.ip.identification if pkt.ip is not None else 0
+        self.history.append(
+            HistoryEvent(
+                kind=kind,
+                key=key,
+                trace_id=trace_id,
+                time=self.switch.sim.now,
+                switch=self.switch.name,
+            )
+        )
+
+    def shutdown(self) -> None:
+        """Release every circulating mirror copy (clean teardown).
+
+        Use when an experiment ends while requests are still outstanding
+        (e.g. the store was failed on purpose): otherwise the
+        retransmitter keeps the event loop alive indefinitely.
+        """
+        for copies in self._copies_write.values():
+            for copy in copies.values():
+                self.mirror.release(copy)
+        self._copies_write.clear()
+        for copy in list(self._copy_lease.values()):
+            self.mirror.release(copy)
+        self._copy_lease.clear()
+        for copy in list(self._copy_renew.values()):
+            self.mirror.release(copy)
+        self._copy_renew.clear()
+        for copy in list(self._copies_snapshot.values()):
+            self.mirror.release(copy)
+        self._copies_snapshot.clear()
+
+    # -- introspection used by tests and experiments ------------------------
+
+    def flow_state(self, key: FlowKey) -> Optional[List[int]]:
+        """Current switch-local state values for a flow (None if unknown)."""
+        idx = self._flow_idx.get(key)
+        if idx is None:
+            return None
+        return [reg.cp_read(idx) for reg in self.state_regs]
+
+    def lease_valid(self, key: FlowKey) -> bool:
+        idx = self._flow_idx.get(key)
+        if idx is None:
+            return False
+        return self.reg_lease_expiry.cp_read(idx) > self.switch.sim.now
+
+    def resource_usage(self) -> Dict[str, float]:
+        """RedPlane's *additional* ASIC resources (Table 2 inventory).
+
+        Per-flow SRAM: 96 register bits (lease expiry, current seq, last
+        acked — packed as in the prototype) plus a 128-bit flow-index table
+        entry. TCAM: two 4096-entry range-match tables (ack processing and
+        request-timeout checks). The fixed-function counts (ALUs, gateways,
+        VLIW slots, crossbar and hash bits) come from the block inventory.
+        """
+        flows = self.config.max_flows
+        return {
+            "sram_bits": flows * (96 + 128) + 1024 * 152,
+            "tcam_bits": 2 * 4096 * 96,
+            "meter_alus": 4,
+            "gateways": 19,
+            "vliw_instructions": 21,
+            "match_crossbar_bits": 976,
+            "hash_bits": 185,
+        }

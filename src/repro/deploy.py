@@ -1,0 +1,112 @@
+"""One-call deployment of a RedPlane testbed.
+
+Wires together the Appendix-D topology, programmable aggregation switches,
+state-store servers (optionally chain-replicated), the shard map, and a
+RedPlane-enabled application on each aggregation switch — the setup every
+experiment in §7 starts from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.net import constants
+from repro.net.simulator import Simulator
+from repro.net.topology import Testbed, build_testbed
+from repro.switch.asic import SwitchASIC
+from repro.core.app import InSwitchApp
+from repro.core.engine import RedPlaneConfig, RedPlaneEngine
+from repro.core.api import attach_redplane
+from repro.core.protocol import STORE_UDP_PORT
+from repro.statestore.failover import MutableShardMap
+from repro.statestore.server import StateAllocator, StateStoreNode, build_chain
+from repro.statestore.sharding import ShardAddress, ShardMap
+
+#: Builds one application instance per switch (apps are stateful objects,
+#: so each switch needs its own).
+AppFactory = Callable[[], InSwitchApp]
+
+
+@dataclass
+class Deployment:
+    """Everything an experiment needs handles to."""
+
+    sim: Simulator
+    bed: Testbed
+    apps: Dict[str, InSwitchApp] = field(default_factory=dict)
+    engines: Dict[str, RedPlaneEngine] = field(default_factory=dict)
+    stores: List[StateStoreNode] = field(default_factory=list)
+    shard_map: Optional[ShardMap] = None
+    #: Store nodes grouped into replication chains, one list per shard.
+    chains: List[List[StateStoreNode]] = field(default_factory=list)
+
+    @property
+    def switches(self) -> List[SwitchASIC]:
+        return self.bed.aggs  # type: ignore[return-value]
+
+    def engine_of(self, switch: SwitchASIC) -> RedPlaneEngine:
+        return self.engines[switch.name]
+
+
+def deploy(
+    sim: Simulator,
+    app_factory: AppFactory,
+    num_shards: int = 1,
+    chain_length: int = 3,
+    config: Optional[RedPlaneConfig] = None,
+    allocator: Optional[StateAllocator] = None,
+    link_loss: float = 0.0,
+    link_reorder: float = 0.0,
+    lease_period_us: float = constants.LEASE_PERIOD_US,
+) -> Deployment:
+    """Build the testbed and attach a RedPlane-enabled app to each agg switch.
+
+    ``num_shards`` and ``chain_length`` carve the three store servers into
+    replication groups: the prototype's configuration is one shard with a
+    chain of three (one server per rack); Fig 13 uses up to three
+    single-server shards. ``num_shards * chain_length`` must not exceed
+    the three store servers of the testbed.
+    """
+    if num_shards * chain_length > 3:
+        raise ValueError(
+            "the testbed has 3 store servers; "
+            f"{num_shards} shards x {chain_length} chain nodes do not fit"
+        )
+    if config is not None:
+        lease_period_us = config.lease_period_us
+
+    def make_agg(sim_: Simulator, name: str, loopback_ip: int) -> SwitchASIC:
+        return SwitchASIC(sim_, name, loopback_ip)
+
+    def make_store(sim_: Simulator, name: str, ip: int) -> StateStoreNode:
+        return StateStoreNode(
+            sim_, name, ip, lease_period_us=lease_period_us, allocator=allocator
+        )
+
+    bed = build_testbed(
+        sim,
+        agg_factory=make_agg,
+        store_factory=make_store,
+        link_loss=link_loss,
+        link_reorder=link_reorder,
+    )
+    stores: List[StateStoreNode] = list(bed.store_servers)  # type: ignore[arg-type]
+
+    heads: List[ShardAddress] = []
+    chains: List[List[StateStoreNode]] = []
+    for shard in range(num_shards):
+        chain = stores[shard * chain_length : (shard + 1) * chain_length]
+        build_chain(chain)
+        chains.append(chain)
+        heads.append(ShardAddress(ip=chain[0].ip, udp_port=STORE_UDP_PORT))
+    shard_map = MutableShardMap(heads)
+
+    deployment = Deployment(sim=sim, bed=bed, stores=stores, shard_map=shard_map)
+    deployment.chains = chains
+    for agg in bed.aggs:
+        app = app_factory()
+        engine = attach_redplane(agg, app, shard_map, config)  # type: ignore[arg-type]
+        deployment.apps[agg.name] = app
+        deployment.engines[agg.name] = engine
+    return deployment

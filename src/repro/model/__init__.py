@@ -1,0 +1,36 @@
+"""Formal protocol model: TLA+ spec port, model checker, linearizability."""
+
+from repro.model.checker import CheckResult, liveness_probe, model_check
+from repro.model.monitors import InvariantMonitor, Violation
+from repro.model.linearizability import (
+    FlowHistory,
+    check_counter_history,
+    check_linearizable,
+    counter_apply,
+    kv_apply,
+)
+from repro.model.spec import (
+    InvariantViolation,
+    ModelConfig,
+    ModelState,
+    initial_state,
+    successors,
+)
+
+__all__ = [
+    "CheckResult",
+    "InvariantMonitor",
+    "Violation",
+    "liveness_probe",
+    "model_check",
+    "FlowHistory",
+    "check_counter_history",
+    "check_linearizable",
+    "counter_apply",
+    "kv_apply",
+    "InvariantViolation",
+    "ModelConfig",
+    "ModelState",
+    "initial_state",
+    "successors",
+]

@@ -1,0 +1,126 @@
+"""Per-flow linearizability checking over recorded histories (§4.2-4.3).
+
+Definition 3: a history ``H`` (input events ``I_p`` and output events
+``O_p``) is linearizable for program ``P`` iff some reordering ``S`` of the
+inputs (1) reproduces every observed output value when ``P`` runs over
+``S`` in sequence, and (2) respects real-time precedence: if ``O_x``
+precedes ``I_y`` in ``H`` then ``I_x`` precedes ``I_y`` in ``S``.
+
+Inputs *without* outputs are the two permitted anomalies (§4.2): a packet
+lost before the switch (appears at the end of ``S`` with no effect) or
+after it (appears anywhere, its state update visible to later packets).
+The checker therefore allows unmatched inputs to take effect *or* be
+appended, and searches orderings with backtracking — feasible for the
+per-flow history sizes tests generate (a flow's packets, not a trace's).
+
+Definition 4 (per-flow linearizability) follows by running the checker on
+each flow's subhistory independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+# A program for checking purposes: state x input -> (state, output value).
+ApplyFn = Callable[[object, object], Tuple[object, object]]
+
+
+@dataclass
+class FlowHistory:
+    """The recorded events of one flow, in wall-clock order."""
+
+    #: (trace_id, input_value) in arrival order at the switch.
+    inputs: List[Tuple[int, object]] = field(default_factory=list)
+    #: trace_id -> observed output value (packets that made it out).
+    outputs: Dict[int, object] = field(default_factory=dict)
+    #: arrival time per input trace_id.
+    input_times: Dict[int, float] = field(default_factory=dict)
+    #: emission time per output trace_id.
+    output_times: Dict[int, float] = field(default_factory=dict)
+
+    def add_input(self, trace_id: int, value: object, time: float) -> None:
+        self.inputs.append((trace_id, value))
+        self.input_times[trace_id] = time
+
+    def add_output(self, trace_id: int, value: object, time: float) -> None:
+        self.outputs[trace_id] = value
+        self.output_times[trace_id] = time
+
+    def precedence_pairs(self) -> List[Tuple[int, int]]:
+        """(x, y) pairs where O_x happened before I_y in real time."""
+        pairs = []
+        for x, t_out in self.output_times.items():
+            for y, t_in in self.input_times.items():
+                if x != y and t_out < t_in:
+                    pairs.append((x, y))
+        return pairs
+
+
+def check_linearizable(
+    history: FlowHistory,
+    apply_fn: ApplyFn,
+    initial_state: object,
+    max_nodes: int = 2_000_000,
+) -> bool:
+    """Search for a valid sequential order ``S`` (Definition 3)."""
+    ids = [tid for tid, _val in history.inputs]
+    values = {tid: val for tid, val in history.inputs}
+    must_precede: Dict[int, set] = {tid: set() for tid in ids}
+    for x, y in history.precedence_pairs():
+        if x in must_precede and y in must_precede:
+            must_precede[y].add(x)
+
+    outputs = history.outputs
+    n = len(ids)
+    nodes = 0
+
+    def search(placed: Tuple[int, ...], state: object, remaining: frozenset) -> bool:
+        nonlocal nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise RuntimeError("linearizability search exceeded node budget")
+        if not remaining:
+            return True
+        for tid in sorted(remaining):
+            if must_precede[tid] & remaining:
+                continue  # some required predecessor not yet placed
+            new_state, out_val = apply_fn(state, values[tid])
+            if tid in outputs:
+                if outputs[tid] != out_val:
+                    continue  # observed output contradicts this position
+                if search(placed + (tid,), new_state, remaining - {tid}):
+                    return True
+            else:
+                # Anomaly case 1: input took effect, output lost in flight.
+                if search(placed + (tid,), new_state, remaining - {tid}):
+                    return True
+                # Anomaly case 2: input never reached the program; it can
+                # sit at the end of S with no visible effect — equivalent
+                # to skipping it entirely, provided nothing must follow it.
+                if not any(
+                    tid in must_precede[other] for other in remaining - {tid}
+                ):
+                    if search(placed, state, remaining - {tid}):
+                        return True
+        return False
+
+    return search((), initial_state, frozenset(ids))
+
+
+def counter_apply(state: int, _value: object) -> Tuple[int, int]:
+    """The per-flow counter program: increment, output the new count."""
+    return state + 1, state + 1
+
+
+def kv_apply(state: Optional[int], op: Tuple[str, Optional[int]]):
+    """The in-switch KV program: ('r', None) reads, ('w', v) writes."""
+    kind, val = op
+    if kind == "w":
+        return val, val
+    return state, state
+
+
+def check_counter_history(history: FlowHistory) -> bool:
+    """Convenience: check a per-flow counter flow history."""
+    return check_linearizable(history, counter_apply, 0)

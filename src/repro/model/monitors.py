@@ -1,0 +1,139 @@
+"""Online invariant monitors for live deployments.
+
+The model checker (Appendix C) verifies the protocol over all
+interleavings of a small model; these monitors check the same invariants
+*continuously on a running simulation* — the runtime-verification
+counterpart, usable under full-scale workloads where exhaustive checking
+is impossible. Used by the fuzz tests and available to experiments.
+
+Monitored invariants:
+
+* **single owner** — across all store replicas, at most one switch holds
+  an unexpired lease per flow (``SingleOwnerInvariant``);
+* **sequence monotonicity** — a store record's applied sequence number
+  never decreases between samples (what Fig 6b's sequencing guarantees);
+* **no value regression** — a record's value list never reverts to an
+  older version once a newer one was applied (counter-style apps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.packet import FlowKey
+from repro.net.simulator import Simulator
+from repro.statestore.server import StateStoreNode
+
+
+@dataclass
+class Violation:
+    time_us: float
+    invariant: str
+    detail: str
+
+
+class InvariantMonitor:
+    """Samples store replicas periodically and records violations."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stores: List[StateStoreNode],
+        engines: Optional[list] = None,
+        interval_us: float = 1_000.0,
+        track_monotonic_values: bool = False,
+    ) -> None:
+        if interval_us <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.stores = list(stores)
+        #: RedPlane engines whose lease beliefs are cross-checked; the
+        #: switch-side view is conservative (expiry margin, §5.3), so two
+        #: engines believing they own one flow is a genuine violation.
+        self.engines = list(engines or [])
+        self.interval_us = interval_us
+        self.track_monotonic_values = track_monotonic_values
+        self.violations: List[Violation] = []
+        self.samples = 0
+        self._last_seq: Dict[Tuple[str, FlowKey], int] = {}
+        self._last_vals: Dict[Tuple[str, FlowKey], List[int]] = {}
+        self.running = False
+
+    def start(self) -> None:
+        self.running = True
+        self.sim.schedule(self.interval_us, self._sample)
+
+    def stop(self) -> None:
+        self.running = False
+
+    # -- sampling ---------------------------------------------------------------
+
+    def _sample(self) -> None:
+        if not self.running:
+            return
+        self.samples += 1
+        self._check_single_owner()
+        self._check_sequences()
+        self.sim.schedule(self.interval_us, self._sample)
+
+    def _check_single_owner(self) -> None:
+        """At most one live switch believes it holds a flow's lease.
+
+        The switch-side expiry carries a safety margin below the store's
+        grant (§5.3), so concurrent belief on two switches is a genuine
+        single-owner violation, not clock skew.
+        """
+        now = self.sim.now
+        keys = set()
+        for engine in self.engines:
+            if engine.switch.failed:
+                continue
+            keys.update(engine._flow_idx.keys())
+        for key in keys:
+            holders = [
+                engine.switch.name
+                for engine in self.engines
+                if not engine.switch.failed and engine.lease_valid(key)
+            ]
+            if len(holders) > 1:
+                self.violations.append(Violation(
+                    now, "SingleOwnerInvariant",
+                    f"{key}: held by {holders}"))
+
+    def _check_sequences(self) -> None:
+        now = self.sim.now
+        for store in self.stores:
+            if store.failed:
+                continue
+            for key, rec in store.records.items():
+                tag = (store.name, key)
+                prev = self._last_seq.get(tag)
+                if prev is not None and rec.last_seq < prev:
+                    self.violations.append(Violation(
+                        now, "SequenceMonotonicity",
+                        f"{store.name} {key}: {prev} -> {rec.last_seq}"))
+                self._last_seq[tag] = rec.last_seq
+                if self.track_monotonic_values and rec.vals:
+                    prev_vals = self._last_vals.get(tag)
+                    if prev_vals is not None and rec.vals[0] < prev_vals[0]:
+                        self.violations.append(Violation(
+                            now, "ValueRegression",
+                            f"{store.name} {key}: {prev_vals} -> {rec.vals}"))
+                    self._last_vals[tag] = list(rec.vals)
+
+    # -- results ------------------------------------------------------------------
+
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> str:
+        if self.ok():
+            return f"OK — {self.samples} samples, no violations"
+        lines = [f"{len(self.violations)} violation(s):"]
+        for violation in self.violations[:20]:
+            lines.append(
+                f"  t={violation.time_us:.1f}us {violation.invariant}: "
+                f"{violation.detail}"
+            )
+        return "\n".join(lines)

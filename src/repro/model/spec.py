@@ -1,0 +1,381 @@
+"""Python port of the paper's TLA+ specification (Appendix C).
+
+The spec models the lease/sequencing core of the RedPlane protocol as four
+process kinds — the state store, N switches, the lease-expiration timer,
+and a packet generator — whose atomic steps correspond one-to-one to the
+PlusCal labels of the original (``START_STORE``, ``TRANSFER_LEASE``,
+``HAS_LEASE``, ``SW_FAILURE``, ...). :mod:`repro.model.checker` explores
+every interleaving and checks the paper's invariants:
+
+* ``SingleOwnerInvariant`` — only the owner has remaining lease time;
+* the sequence assertion of ``WAIT_WRITE_RESPONSE`` — a write response
+  always carries the sequence number the switch wrote (no lost/stale
+  update is ever acknowledged);
+* ``AtLeastOneAliveSwitch`` as a model constraint.
+
+States are immutable value objects hashable for explicit-state search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+# Query field tuples: ("request", kind, write_seq) or ("response", last_seq).
+Query = Tuple
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    switches: Tuple[str, ...] = ("s1", "s2")
+    lease_period: int = 2
+    total_pkts: int = 2
+    #: Allow the nondeterministic fail/recover action (SW_FAILURE).
+    allow_failures: bool = True
+
+
+@dataclass(frozen=True)
+class ModelState:
+    """One global state of the specification."""
+
+    pc: Tuple[Tuple[str, str], ...]            # process -> label
+    query: Tuple[Tuple[str, Optional[Query]], ...]
+    request_queue: Tuple[str, ...]
+    pkt_queue: Tuple[Tuple[str, int], ...]
+    lease_remaining: Tuple[Tuple[str, int], ...]
+    owner: Optional[str]
+    up: Tuple[Tuple[str, bool], ...]
+    active: Tuple[Tuple[str, bool], ...]
+    alive_num: int
+    global_seqnum: int
+    seqnum: Tuple[Tuple[str, int], ...]
+    sent_pkts: int
+    store_switch: Optional[str]
+    store_q: Optional[Query]
+
+    # -- dict-like helpers over the frozen tuples ---------------------------
+
+    def d(self, attr: str) -> Dict:
+        return dict(getattr(self, attr))
+
+    def with_(self, **updates) -> "ModelState":
+        frozen = {}
+        for key, value in updates.items():
+            if isinstance(value, dict):
+                frozen[key] = tuple(sorted(value.items()))
+            elif isinstance(value, list):
+                frozen[key] = tuple(value)
+            else:
+                frozen[key] = value
+        return replace(self, **frozen)
+
+
+def initial_state(cfg: ModelConfig) -> ModelState:
+    procs = {f"switch:{sw}": "START_SWITCH" for sw in cfg.switches}
+    procs["store"] = "START_STORE"
+    procs["timer"] = "START_TIMER"
+    procs["pktgen"] = "START_PKTGEN"
+    z = {sw: 0 for sw in cfg.switches}
+    return ModelState(
+        pc=tuple(sorted(procs.items())),
+        query=tuple(sorted({sw: None for sw in cfg.switches}.items())),
+        request_queue=(),
+        pkt_queue=tuple(sorted(z.items())),
+        lease_remaining=tuple(sorted(z.items())),
+        owner=None,
+        up=tuple(sorted({sw: True for sw in cfg.switches}.items())),
+        active=tuple(sorted({sw: False for sw in cfg.switches}.items())),
+        alive_num=len(cfg.switches),
+        global_seqnum=0,
+        seqnum=tuple(sorted(z.items())),
+        sent_pkts=0,
+        store_switch=None,
+        store_q=None,
+    )
+
+
+class InvariantViolation(Exception):
+    """Raised when an invariant or in-step assertion fails."""
+
+    def __init__(self, name: str, state: ModelState, detail: str = "") -> None:
+        super().__init__(f"{name}: {detail}")
+        self.name = name
+        self.state = state
+
+
+# ---------------------------------------------------------------------------
+# invariants
+# ---------------------------------------------------------------------------
+
+
+def check_invariants(state: ModelState, cfg: ModelConfig) -> None:
+    lease = state.d("lease_remaining")
+    for sw in cfg.switches:
+        if sw != state.owner and lease[sw] != 0:
+            raise InvariantViolation(
+                "SingleOwnerInvariant",
+                state,
+                f"{sw} holds lease time {lease[sw]} but owner is {state.owner}",
+            )
+    if state.alive_num < 1:
+        raise InvariantViolation("AtLeastOneAliveSwitch", state, "no switch up")
+
+
+# ---------------------------------------------------------------------------
+# transitions: each returns a list of successor states
+# ---------------------------------------------------------------------------
+
+
+def successors(state: ModelState, cfg: ModelConfig) -> List[ModelState]:
+    out: List[ModelState] = []
+    pc = state.d("pc")
+    out.extend(_store_steps(state, pc["store"]))
+    for sw in cfg.switches:
+        out.extend(_switch_steps(state, sw, pc[f"switch:{sw}"], cfg))
+    out.extend(_timer_steps(state))
+    out.extend(_pktgen_steps(state, pc["pktgen"], cfg))
+    return out
+
+
+def _set_pc(state: ModelState, proc: str, label: str) -> Dict:
+    pc = state.d("pc")
+    pc[proc] = label
+    return pc
+
+
+def _store_steps(state: ModelState, label: str) -> List[ModelState]:
+    if label == "START_STORE":
+        return [state.with_(pc=_set_pc(state, "store", "STORE_PROCESSING"))]
+
+    if label == "STORE_PROCESSING":
+        if not state.request_queue:
+            return [state.with_(pc=_set_pc(state, "store", "START_STORE"))]
+        switch = state.request_queue[0]
+        rest = state.request_queue[1:]
+        q = state.d("query")[switch]
+        if q is None or q[0] != "request":
+            # Stale queue entry (e.g. the switch failed and its query was
+            # cleared): drop it, as TLC's branch falls through to start.
+            return [
+                state.with_(
+                    pc=_set_pc(state, "store", "START_STORE"),
+                    request_queue=list(rest),
+                    store_switch=switch,
+                    store_q=q,
+                )
+            ]
+        kind = q[1]
+        base = state.with_(
+            request_queue=list(rest), store_switch=switch, store_q=q
+        )
+        if kind == "new":
+            nxt = "BUFFERING" if state.owner is not None else "TRANSFER_LEASE"
+        elif kind == "renew":
+            nxt = "RENEW_LEASE"
+        else:
+            nxt = "START_STORE"
+        return [base.with_(pc=_set_pc(base, "store", nxt))]
+
+    if label == "TRANSFER_LEASE":
+        switch = state.store_switch
+        query = state.d("query")
+        query[switch] = ("response", state.global_seqnum)
+        lease = state.d("lease_remaining")
+        lease[switch] = LEASE_PERIOD_OF(state)
+        return [
+            state.with_(
+                query=query,
+                lease_remaining=lease,
+                owner=switch,
+                pc=_set_pc(state, "store", "START_STORE"),
+            )
+        ]
+
+    if label == "BUFFERING":
+        queue = list(state.request_queue) + [state.store_switch]
+        return [
+            state.with_(
+                request_queue=queue,
+                pc=_set_pc(state, "store", "STORE_PROCESSING"),
+            )
+        ]
+
+    if label == "RENEW_LEASE":
+        switch = state.store_switch
+        q = state.store_q
+        new_seq = q[2]
+        query = state.d("query")
+        query[switch] = ("response", new_seq)
+        lease = state.d("lease_remaining")
+        lease[switch] = LEASE_PERIOD_OF(state)
+        return [
+            state.with_(
+                global_seqnum=new_seq,
+                query=query,
+                lease_remaining=lease,
+                owner=switch,
+                pc=_set_pc(state, "store", "START_STORE"),
+            )
+        ]
+
+    return []
+
+
+#: The lease period is a config constant; stashed on the module so the
+#: transition functions stay signature-compatible with the TLA+ actions.
+_LEASE_PERIOD = 2
+
+
+def LEASE_PERIOD_OF(_state: ModelState) -> int:
+    return _LEASE_PERIOD
+
+
+def _switch_steps(
+    state: ModelState, sw: str, label: str, cfg: ModelConfig
+) -> List[ModelState]:
+    proc = f"switch:{sw}"
+    out: List[ModelState] = []
+
+    if label == "START_SWITCH":
+        up = state.d("up")
+        pkts = state.d("pkt_queue")
+        if up[sw] and pkts[sw] > 0:
+            active = state.d("active")
+            active[sw] = True
+            lease = state.d("lease_remaining")
+            nxt = "NO_LEASE" if lease[sw] == 0 else "HAS_LEASE"
+            out.append(state.with_(active=active, pc=_set_pc(state, proc, nxt)))
+        if cfg.allow_failures:
+            out.append(state.with_(pc=_set_pc(state, proc, "SW_FAILURE")))
+        return out
+
+    if label == "NO_LEASE":
+        query = state.d("query")
+        query[sw] = ("request", "new", 0)
+        queue = list(state.request_queue) + [sw]
+        return [
+            state.with_(
+                query=query,
+                request_queue=queue,
+                pc=_set_pc(state, proc, "WAIT_LEASE_RESPONSE"),
+            )
+        ]
+
+    if label == "WAIT_LEASE_RESPONSE":
+        q = state.d("query")[sw]
+        if q is None or q[0] != "response":
+            return []
+        seqnum = state.d("seqnum")
+        seqnum[sw] = q[1]
+        query = state.d("query")
+        query[sw] = None
+        return [
+            state.with_(
+                seqnum=seqnum, query=query, pc=_set_pc(state, proc, "HAS_LEASE")
+            )
+        ]
+
+    if label == "HAS_LEASE":
+        seqnum = state.d("seqnum")
+        seqnum[sw] += 1
+        query = state.d("query")
+        query[sw] = ("request", "renew", seqnum[sw])
+        queue = list(state.request_queue) + [sw]
+        return [
+            state.with_(
+                seqnum=seqnum,
+                query=query,
+                request_queue=queue,
+                pc=_set_pc(state, proc, "WAIT_WRITE_RESPONSE"),
+            )
+        ]
+
+    if label == "WAIT_WRITE_RESPONSE":
+        q = state.d("query")[sw]
+        if q is None or q[0] != "response":
+            return []
+        if state.d("seqnum")[sw] != q[1]:
+            raise InvariantViolation(
+                "WriteSequenceAssertion",
+                state,
+                f"{sw} wrote seq {state.d('seqnum')[sw]} but response says {q[1]}",
+            )
+        query = state.d("query")
+        query[sw] = None
+        active = state.d("active")
+        active[sw] = False
+        pkts = state.d("pkt_queue")
+        pkts[sw] -= 1
+        return [
+            state.with_(
+                query=query,
+                active=active,
+                pkt_queue=pkts,
+                pc=_set_pc(state, proc, "START_SWITCH"),
+            )
+        ]
+
+    if label == "SW_FAILURE":
+        up = state.d("up")
+        query = state.d("query")
+        alive = state.alive_num
+        if alive > 1 and up[sw]:
+            up[sw] = False
+            alive -= 1
+        elif not up[sw]:
+            up[sw] = True
+            query[sw] = None
+            alive += 1
+        return [
+            state.with_(
+                up=up,
+                query=query,
+                alive_num=alive,
+                pc=_set_pc(state, proc, "START_SWITCH"),
+            )
+        ]
+
+    return []
+
+
+def _timer_steps(state: ModelState) -> List[ModelState]:
+    if state.owner is None:
+        return []
+    lease = state.d("lease_remaining")
+    active = state.d("active")
+    if lease[state.owner] > 0 and not active[state.owner]:
+        lease[state.owner] -= 1
+        return [state.with_(lease_remaining=lease)]
+    if lease[state.owner] == 0:
+        return [state.with_(owner=None)]
+    return []
+
+
+def _pktgen_steps(
+    state: ModelState, label: str, cfg: ModelConfig
+) -> List[ModelState]:
+    if label != "START_PKTGEN":
+        return []
+    if state.sent_pkts >= cfg.total_pkts:
+        return [state.with_(pc=_set_pc(state, "pktgen", "Done"))]
+    if state.alive_num < 1:
+        return []
+    out = []
+    up = state.d("up")
+    for sw, is_up in up.items():
+        if not is_up:
+            continue
+        pkts = state.d("pkt_queue")
+        pkts[sw] += 1
+        out.append(
+            state.with_(pkt_queue=pkts, sent_pkts=state.sent_pkts + 1)
+        )
+    return out
+
+
+def set_lease_period(period: int) -> None:
+    """Configure the model's LEASE_PERIOD constant (see checker)."""
+    global _LEASE_PERIOD
+    if period <= 0:
+        raise ValueError("lease period must be positive")
+    _LEASE_PERIOD = period

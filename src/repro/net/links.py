@@ -1,0 +1,196 @@
+"""Nodes, ports, and point-to-point links.
+
+A :class:`Link` connects two :class:`Port` objects and models one-way
+propagation latency, store-and-forward serialization delay, random loss,
+and reordering. Links can be administratively or fault-injected down; a
+packet entering a down link is silently dropped, exactly like a cut fiber.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.net import constants
+from repro.net.packet import Packet
+from repro.net.simulator import Simulator
+
+
+class Node:
+    """Base class for anything with ports: hosts, switches, servers."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.ports: List[Port] = []
+        self.failed = False
+
+    def new_port(self) -> "Port":
+        port = Port(self, len(self.ports))
+        self.ports.append(port)
+        return port
+
+    def receive(self, pkt: Packet, port: "Port") -> None:
+        """Handle a packet arriving on ``port``. Subclasses override."""
+        raise NotImplementedError
+
+    def fail(self) -> None:
+        """Fail-stop the node: drop all future traffic addressed to it."""
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Port:
+    """One attachment point of a node; at most one link per port."""
+
+    def __init__(self, node: Node, index: int) -> None:
+        self.node = node
+        self.index = index
+        self.link: Optional[Link] = None
+
+    def send(self, pkt: Packet) -> None:
+        """Transmit a packet out of this port onto the attached link."""
+        if self.link is None:
+            raise RuntimeError(f"{self} has no link attached")
+        self.link.transmit(pkt, self)
+
+    @property
+    def peer(self) -> Optional["Port"]:
+        """The port at the far end of the attached link, if any."""
+        if self.link is None:
+            return None
+        return self.link.other_end(self)
+
+    def __repr__(self) -> str:
+        return f"<Port {self.node.name}[{self.index}]>"
+
+
+class Link:
+    """A full-duplex point-to-point link between two ports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Port,
+        b: Port,
+        latency_us: float = constants.LINK_LATENCY_US,
+        bandwidth_gbps: float = constants.LINK_BANDWIDTH_GBPS,
+        loss_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        queue_limit_bytes: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if a.link is not None or b.link is not None:
+            raise RuntimeError("port already has a link attached")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        a.link = self
+        b.link = self
+        self.latency_us = latency_us
+        self.bandwidth_gbps = bandwidth_gbps
+        self.loss_rate = loss_rate
+        self.reorder_rate = reorder_rate
+        #: Finite transmit queue (tail drop) per direction; None = infinite.
+        self.queue_limit_bytes = queue_limit_bytes
+        self.up = True
+        self.queue_drops = 0
+        self.name = name or f"{a.node.name}<->{b.node.name}"
+        #: Byte and packet counters per direction, keyed by sending port.
+        self.tx_bytes: Dict[int, int] = {id(a): 0, id(b): 0}
+        self.tx_packets: Dict[int, int] = {id(a): 0, id(b): 0}
+        #: Per-direction transmit-queue drain time: packets serialize one
+        #: after another, so a burst queues (and TCP sees real bandwidth).
+        self._busy_until: Dict[int, float] = {id(a): 0.0, id(b): 0.0}
+        #: Optional taps invoked for every transmitted packet: fn(pkt, src_port).
+        self.taps: List[Callable[[Packet, Port], None]] = []
+
+    def other_end(self, port: Port) -> Port:
+        if port is self.a:
+            return self.b
+        if port is self.b:
+            return self.a
+        raise ValueError("port is not an end of this link")
+
+    def serialization_delay_us(self, pkt: Packet) -> float:
+        """Store-and-forward delay: bits / line rate."""
+        bits = pkt.byte_size() * 8
+        return bits / (self.bandwidth_gbps * 1000.0)
+
+    def transmit(self, pkt: Packet, src_port: Port) -> None:
+        """Send a packet from ``src_port`` toward the other end."""
+        if not self.up:
+            self.sim.count("link.drops.down")
+            return
+        dst_port = self.other_end(src_port)
+        self.tx_bytes[id(src_port)] += pkt.byte_size()
+        self.tx_packets[id(src_port)] += 1
+        for tap in self.taps:
+            tap(pkt, src_port)
+        if self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
+            self.sim.count("link.drops.loss")
+            return
+        # Store-and-forward with per-direction serialization queueing.
+        key = id(src_port)
+        backlog_us = max(0.0, self._busy_until[key] - self.sim.now)
+        if self.queue_limit_bytes is not None:
+            backlog_bytes = backlog_us * self.bandwidth_gbps * 1000.0 / 8.0
+            if backlog_bytes + pkt.byte_size() > self.queue_limit_bytes:
+                # Tail drop: the transmit queue is full.
+                self.queue_drops += 1
+                self.sim.count("link.drops.queue")
+                return
+        start = max(self.sim.now, self._busy_until[key])
+        finish = start + self.serialization_delay_us(pkt)
+        self._busy_until[key] = finish
+        delay = (finish - self.sim.now) + self.latency_us
+        if self.reorder_rate > 0.0 and self.sim.rng.random() < self.reorder_rate:
+            delay += constants.REORDER_EXTRA_US * self.sim.rng.random()
+            self.sim.count("link.reordered")
+        self.sim.schedule(delay, self._deliver, pkt, dst_port)
+
+    def _deliver(self, pkt: Packet, dst_port: Port) -> None:
+        if not self.up:
+            self.sim.count("link.drops.down")
+            return
+        node = dst_port.node
+        if node.failed:
+            self.sim.count("link.drops.node_failed")
+            return
+        node.receive(pkt, dst_port)
+
+    # -- failure injection ------------------------------------------------------
+
+    def fail(self) -> None:
+        """Cut the link; in-flight packets are also lost."""
+        self.up = False
+
+    def recover(self) -> None:
+        self.up = True
+
+    def total_tx_bytes(self) -> int:
+        return sum(self.tx_bytes.values())
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.name} {state}>"
+
+
+class SinkNode(Node):
+    """A node that records every packet it receives; useful in tests."""
+
+    def __init__(self, sim: Simulator, name: str = "sink") -> None:
+        super().__init__(sim, name)
+        self.received: List[Packet] = []
+        self.receive_times: List[float] = []
+        self.on_receive: Optional[Callable[[Packet, Port], None]] = None
+
+    def receive(self, pkt: Packet, port: Port) -> None:
+        self.received.append(pkt)
+        self.receive_times.append(self.sim.now)
+        if self.on_receive is not None:
+            self.on_receive(pkt, port)

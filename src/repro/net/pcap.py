@@ -1,0 +1,93 @@
+"""Pcap export: capture simulated traffic for Wireshark-style inspection.
+
+Because packets serialize to real bytes (:mod:`repro.net.packet`), a link
+tap can dump them into a standard libpcap file and any off-the-shelf tool
+can decode the IP/UDP/TCP layers (the RedPlane header appears as UDP
+payload on ports 4800/4801). Useful when debugging protocol interactions.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Optional
+
+from repro.net.links import Link, Port
+from repro.net.packet import Packet
+
+#: Classic libpcap global header constants.
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+LINKTYPE_ETHERNET = 1
+
+
+class PcapWriter:
+    """Writes packets to a libpcap (``.pcap``) file."""
+
+    def __init__(self, stream: BinaryIO, snaplen: int = 65535) -> None:
+        self.stream = stream
+        self.snaplen = snaplen
+        self.packets_written = 0
+        self._write_global_header()
+
+    def _write_global_header(self) -> None:
+        self.stream.write(struct.pack(
+            "<IHHiIII",
+            PCAP_MAGIC,
+            PCAP_VERSION[0],
+            PCAP_VERSION[1],
+            0,               # thiszone
+            0,               # sigfigs
+            self.snaplen,
+            LINKTYPE_ETHERNET,
+        ))
+
+    def write(self, pkt: Packet, time_us: float) -> None:
+        data = pkt.to_bytes()[: self.snaplen]
+        seconds = int(time_us // 1_000_000)
+        micros = int(time_us % 1_000_000)
+        self.stream.write(struct.pack(
+            "<IIII", seconds, micros, len(data), len(data)
+        ))
+        self.stream.write(data)
+        self.packets_written += 1
+
+    def close(self) -> None:
+        self.stream.flush()
+
+
+class LinkCapture:
+    """Taps a link and streams everything it carries into a pcap file."""
+
+    def __init__(self, link: Link, stream: BinaryIO,
+                 direction: Optional[Port] = None) -> None:
+        self.link = link
+        self.writer = PcapWriter(stream)
+        self.direction = direction
+        link.taps.append(self._tap)
+
+    def _tap(self, pkt: Packet, src_port: Port) -> None:
+        if self.direction is not None and src_port is not self.direction:
+            return
+        self.writer.write(pkt, self.link.sim.now)
+
+    def detach(self) -> None:
+        if self._tap in self.link.taps:
+            self.link.taps.remove(self._tap)
+        self.writer.close()
+
+
+def read_pcap(stream: BinaryIO):
+    """Parse a pcap file back into (time_us, Packet) pairs (for tests)."""
+    header = stream.read(24)
+    magic, = struct.unpack_from("<I", header, 0)
+    if magic != PCAP_MAGIC:
+        raise ValueError("not a (little-endian, classic) pcap file")
+    out = []
+    while True:
+        record = stream.read(16)
+        if len(record) < 16:
+            break
+        seconds, micros, incl_len, _orig_len = struct.unpack("<IIII", record)
+        data = stream.read(incl_len)
+        out.append((seconds * 1_000_000 + micros, Packet.from_bytes(data)))
+    return out

@@ -1,0 +1,6 @@
+"""Streaming data structures used by write-centric applications."""
+
+from repro.sketch.bloom import BloomFilter
+from repro.sketch.countmin import CountMinSketch, sketch_hash
+
+__all__ = ["BloomFilter", "CountMinSketch", "sketch_hash"]

@@ -1,0 +1,48 @@
+"""Bloom filter — the other approximate structure the paper cites (§4.4).
+
+Bounded-inconsistency replication can lose the most recent inserts, which
+for a Bloom filter can introduce false negatives after recovery; RedPlane
+bounds that window by the snapshot period epsilon. The filter here is the
+reference structure used by tests of that property.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sketch.countmin import sketch_hash
+
+
+class BloomFilter:
+    """A standard k-hash Bloom filter over byte-string items."""
+
+    def __init__(self, bits: int = 512, hashes: int = 3) -> None:
+        if bits <= 0 or hashes <= 0:
+            raise ValueError("bits and hashes must be positive")
+        self.bits = bits
+        self.hashes = hashes
+        self._array: List[bool] = [False] * bits
+        self.inserted = 0
+
+    def _positions(self, item: bytes) -> List[int]:
+        return [sketch_hash(item, k, self.bits) for k in range(self.hashes)]
+
+    def add(self, item: bytes) -> None:
+        for pos in self._positions(item):
+            self._array[pos] = True
+        self.inserted += 1
+
+    def __contains__(self, item: bytes) -> bool:
+        return all(self._array[pos] for pos in self._positions(item))
+
+    def bit_values(self) -> List[int]:
+        """The raw bit array as ints (what snapshot replication ships)."""
+        return [int(bit) for bit in self._array]
+
+    def load_bits(self, values: List[int]) -> None:
+        if len(values) != self.bits:
+            raise ValueError("bit count mismatch")
+        self._array = [bool(v) for v in values]
+
+    def fill_ratio(self) -> float:
+        return sum(self._array) / self.bits

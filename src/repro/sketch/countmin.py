@@ -1,0 +1,66 @@
+"""Count-min sketch (Cormode & Muthukrishnan) — reference implementation.
+
+The heavy-hitter detector keeps its sketches in switch register arrays
+(:class:`~repro.core.snapshot.LazySnapshotArray`); this pure-Python sketch
+is the behavioural reference the switch version is tested against, and is
+used by analysis code that replays traces offline.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Hashable, List
+
+
+def sketch_hash(item: bytes, row: int, width: int) -> int:
+    """The row-``row`` hash of ``item`` into ``[0, width)``.
+
+    CRC32 with a per-row salt — the same family the switch pipeline uses,
+    so reference and in-switch sketches agree exactly.
+    """
+    return zlib.crc32(bytes([row]) * 4 + item) % width
+
+
+class CountMinSketch:
+    """A ``depth x width`` count-min sketch over byte-string items."""
+
+    def __init__(self, depth: int = 3, width: int = 64) -> None:
+        if depth <= 0 or width <= 0:
+            raise ValueError("depth and width must be positive")
+        self.depth = depth
+        self.width = width
+        self.rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self.total = 0
+
+    def indices(self, item: bytes) -> List[int]:
+        return [sketch_hash(item, row, self.width) for row in range(self.depth)]
+
+    def add(self, item: bytes, count: int = 1) -> int:
+        """Add ``count`` occurrences; returns the new estimate."""
+        estimate = None
+        for row, index in enumerate(self.indices(item)):
+            self.rows[row][index] += count
+            value = self.rows[row][index]
+            estimate = value if estimate is None else min(estimate, value)
+        self.total += count
+        return estimate or 0
+
+    def estimate(self, item: bytes) -> int:
+        """Point-query estimate (an overestimate, never an underestimate)."""
+        return min(
+            self.rows[row][index] for row, index in enumerate(self.indices(item))
+        )
+
+    def merge(self, other: "CountMinSketch") -> None:
+        if (self.depth, self.width) != (other.depth, other.width):
+            raise ValueError("cannot merge sketches of different shapes")
+        for row in range(self.depth):
+            for i in range(self.width):
+                self.rows[row][i] += other.rows[row][i]
+        self.total += other.total
+
+    def clear(self) -> None:
+        for row in self.rows:
+            for i in range(len(row)):
+                row[i] = 0
+        self.total = 0

@@ -1,0 +1,27 @@
+"""External state store: sharded, chain-replicated in-memory KV servers."""
+
+from repro.statestore.server import (
+    AUX_FRESH_FLOW,
+    AUX_MIGRATED_STATE,
+    CHAIN_UDP_PORT,
+    FlowRecord,
+    StateStoreNode,
+    build_chain,
+    reconfigure_chain,
+)
+from repro.statestore.failover import MutableShardMap, StoreFailoverCoordinator
+from repro.statestore.sharding import ShardAddress, ShardMap
+
+__all__ = [
+    "StateStoreNode",
+    "FlowRecord",
+    "build_chain",
+    "reconfigure_chain",
+    "ShardAddress",
+    "ShardMap",
+    "MutableShardMap",
+    "StoreFailoverCoordinator",
+    "CHAIN_UDP_PORT",
+    "AUX_FRESH_FLOW",
+    "AUX_MIGRATED_STATE",
+]

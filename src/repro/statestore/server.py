@@ -1,0 +1,405 @@
+"""The external state store: in-memory KV servers with chain replication.
+
+Each :class:`StateStoreNode` is a commodity server holding per-flow records
+(state values, last applied sequence number, lease ownership). Requests
+arrive at the chain head, which runs the protocol decision logic of §5.1-5.3:
+
+* **lease management** — grant a lease only if no other switch holds an
+  active one; otherwise buffer the request until the current lease expires
+  (Fig 7b), which is also how state migrates between switches;
+* **sequencing** — apply a state update only if its per-flow sequence
+  number is newer than the last applied one (Fig 6b);
+* **piggyback echo** — return the piggybacked output packet in the
+  acknowledgment so the switch can release it (§5.1, delay-line memory).
+
+Mutating requests are propagated down the chain (van Renesse & Schneider
+chain replication, group size 3 in the prototype); the tail emits the
+acknowledgment. Non-mutating read-buffer requests bounce off the head.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.net import constants
+from repro.net.hosts import Host
+from repro.net.packet import FlowKey, Packet
+from repro.net.simulator import Simulator
+from repro.core.protocol import (
+    MessageType,
+    RedPlaneMessage,
+    STORE_UDP_PORT,
+    SWITCH_UDP_PORT,
+    make_protocol_packet,
+    parse_protocol_packet,
+)
+
+#: UDP port used for chain-replication propagation between store nodes.
+CHAIN_UDP_PORT = 4802
+
+#: ACK aux values: did the flow's state already exist at the store?
+AUX_FRESH_FLOW = 0
+AUX_MIGRATED_STATE = 1
+
+#: Computes initial state values for a brand-new flow. Models global state
+#: (e.g. a NAT's port pool) being sharded across and managed by the store
+#: servers (§3, "Scope"): the allocation happens here, not on the switch.
+StateAllocator = Callable[[FlowKey], List[int]]
+
+
+@dataclass
+class FlowRecord:
+    """Everything the store knows about one flow."""
+
+    vals: List[int] = field(default_factory=list)
+    initialized: bool = False
+    last_seq: int = 0
+    owner_ip: Optional[int] = None
+    lease_expiry: float = 0.0
+    #: Buffered lease requests from other switches (head node only).
+    pending: Deque[Tuple[RedPlaneMessage, int]] = field(default_factory=deque)
+    #: Bounded-inconsistency snapshots: slot index -> (value, epoch seq).
+    snapshot_vals: Dict[int, int] = field(default_factory=dict)
+    snapshot_seqs: Dict[int, int] = field(default_factory=dict)
+
+    def lease_active(self, now: float) -> bool:
+        return self.owner_ip is not None and self.lease_expiry > now
+
+    def held_by_other(self, requester_ip: int, now: float) -> bool:
+        return self.lease_active(now) and self.owner_ip != requester_ip
+
+
+class StateStoreNode(Host):
+    """One state-store server process (head, middle, or tail of a chain)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        ip: int,
+        lease_period_us: float = constants.LEASE_PERIOD_US,
+        proc_delay_us: float = constants.STORE_PROC_US,
+        allocator: Optional[StateAllocator] = None,
+    ) -> None:
+        super().__init__(sim, name, ip)
+        self.lease_period_us = lease_period_us
+        self.proc_delay_us = proc_delay_us
+        #: Per-request service time (us). Zero models latency only; set to
+        #: ``1 / capacity`` to model a finite-capacity server whose queue
+        #: becomes the bottleneck for write-heavy workloads (Figs 12/13).
+        self.service_time_us = 0.0
+        self._busy_until = 0.0
+        self.allocator = allocator
+        self.records: Dict[FlowKey, FlowRecord] = {}
+        #: Next node in the chain (None for the tail / unreplicated store).
+        self.successor_ip: Optional[int] = None
+        self.bind(STORE_UDP_PORT, self._on_request_packet)
+        self.bind(CHAIN_UDP_PORT, self._on_chain_packet)
+        self.requests_processed = 0
+        self.updates_applied = 0
+        self.updates_rejected_stale = 0
+        self.leases_granted = 0
+        self.requests_buffered = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    def record(self, key: FlowKey) -> FlowRecord:
+        rec = self.records.get(key)
+        if rec is None:
+            rec = FlowRecord()
+            self.records[key] = rec
+        return rec
+
+    def _reply(self, msg: RedPlaneMessage, to_ip: int) -> None:
+        # Processing time was already paid on the receive path.
+        pkt = make_protocol_packet(
+            self.ip, to_ip, msg, sport=STORE_UDP_PORT, dport=SWITCH_UDP_PORT
+        )
+        self.send(pkt)
+
+    # -- request path (chain head) -------------------------------------------
+
+    def _on_request_packet(self, pkt: Packet) -> None:
+        msg = parse_protocol_packet(pkt)
+        requester_ip = pkt.ip.src
+        delay = self.proc_delay_us
+        if self.service_time_us > 0.0:
+            # Finite-capacity server: requests serialize through it.
+            start = max(self.sim.now, self._busy_until)
+            self._busy_until = start + self.service_time_us
+            delay = (self._busy_until - self.sim.now)
+        self.sim.schedule(delay, self._process_request, msg, requester_ip)
+
+    def _process_request(self, msg: RedPlaneMessage, requester_ip: int) -> None:
+        if self.failed:
+            return
+        self.requests_processed += 1
+        now = self.sim.now
+        rec = self.record(msg.flow_key)
+
+        if msg.msg_type is MessageType.READ_BUFFER_REQ:
+            # Non-mutating: bounce the piggybacked packet straight back with
+            # the last sequence number this store has applied.
+            reply = RedPlaneMessage(
+                seq=rec.last_seq,
+                msg_type=MessageType.READ_BUFFER_ACK,
+                flow_key=msg.flow_key,
+                piggyback=msg.piggyback,
+            )
+            self._reply(reply, requester_ip)
+            return
+
+        if msg.msg_type is MessageType.SNAPSHOT_REPL_REQ:
+            # Asynchronous snapshots are filtered by epoch sequencing only;
+            # they never block on leases (bounded-inconsistency mode, §5.4).
+            reply = self._apply(rec, msg, requester_ip, now)
+            self._propagate_or_reply(msg.flow_key, rec, reply, requester_ip)
+            return
+
+        if rec.held_by_other(requester_ip, now):
+            # Another switch owns this flow: buffer until the lease expires
+            # (this is both correctness under concurrent access, Fig 7b, and
+            # the state-migration wait during failover). Header-only
+            # retransmissions of an already-buffered request are deduped;
+            # piggybacked requests are distinct held packets and all kept.
+            if msg.piggyback is None and any(
+                p_msg.msg_type is msg.msg_type and p_ip == requester_ip
+                for p_msg, p_ip in rec.pending
+            ):
+                return
+            rec.pending.append((msg, requester_ip))
+            self.requests_buffered += 1
+            self.sim.schedule_at(
+                rec.lease_expiry + 1e-6, self._drain_pending, msg.flow_key
+            )
+            return
+
+        reply = self._apply(rec, msg, requester_ip, now)
+        self._propagate_or_reply(msg.flow_key, rec, reply, requester_ip)
+
+    def _apply(
+        self,
+        rec: FlowRecord,
+        msg: RedPlaneMessage,
+        requester_ip: int,
+        now: float,
+    ) -> RedPlaneMessage:
+        """Run the protocol state machine for one request at the head."""
+        if msg.msg_type is MessageType.LEASE_NEW_REQ:
+            migrated = rec.initialized
+            if not rec.initialized:
+                rec.vals = (
+                    list(self.allocator(msg.flow_key)) if self.allocator else []
+                )
+                rec.initialized = True
+            self._grant(rec, requester_ip, now)
+            return RedPlaneMessage(
+                seq=rec.last_seq,
+                msg_type=MessageType.LEASE_NEW_ACK,
+                flow_key=msg.flow_key,
+                vals=list(rec.vals),
+                piggyback=msg.piggyback,
+                aux=AUX_MIGRATED_STATE if migrated else AUX_FRESH_FLOW,
+            )
+
+        if msg.msg_type is MessageType.REPL_WRITE_REQ:
+            self._grant(rec, requester_ip, now)
+            if msg.seq > rec.last_seq:
+                rec.vals = list(msg.vals)
+                rec.initialized = True
+                rec.last_seq = msg.seq
+                self.updates_applied += 1
+            else:
+                # Out-of-order or duplicate: never let an older value
+                # overwrite a newer one (Fig 6b).
+                self.updates_rejected_stale += 1
+            return RedPlaneMessage(
+                seq=rec.last_seq,
+                msg_type=MessageType.REPL_WRITE_ACK,
+                flow_key=msg.flow_key,
+                piggyback=msg.piggyback,
+            )
+
+        if msg.msg_type is MessageType.LEASE_RENEW_REQ:
+            self._grant(rec, requester_ip, now)
+            return RedPlaneMessage(
+                seq=rec.last_seq,
+                msg_type=MessageType.LEASE_RENEW_ACK,
+                flow_key=msg.flow_key,
+            )
+
+        if msg.msg_type is MessageType.SNAPSHOT_REPL_REQ:
+            slot = msg.aux
+            if msg.seq >= rec.snapshot_seqs.get(slot, -1):
+                rec.snapshot_vals[slot] = msg.vals[0] if msg.vals else 0
+                rec.snapshot_seqs[slot] = msg.seq
+                rec.initialized = True
+                self.updates_applied += 1
+            # Carry the applied slot value so chain replicas converge even
+            # when an older epoch was rejected at the head.
+            return RedPlaneMessage(
+                seq=rec.snapshot_seqs.get(slot, msg.seq),
+                msg_type=MessageType.SNAPSHOT_REPL_ACK,
+                flow_key=msg.flow_key,
+                vals=[rec.snapshot_vals.get(slot, 0)],
+                aux=slot,
+            )
+
+        raise ValueError(f"unexpected request type {msg.msg_type!r}")
+
+    def _grant(self, rec: FlowRecord, requester_ip: int, now: float) -> None:
+        if rec.owner_ip != requester_ip:
+            self.leases_granted += 1
+        rec.owner_ip = requester_ip
+        rec.lease_expiry = now + self.lease_period_us
+
+    def _drain_pending(self, key: FlowKey) -> None:
+        """Process buffered requests once the blocking lease has expired."""
+        if self.failed:
+            return
+        rec = self.records.get(key)
+        if rec is None or not rec.pending:
+            return
+        now = self.sim.now
+        if rec.lease_active(now):
+            head_msg, head_ip = rec.pending[0]
+            if rec.owner_ip != head_ip:
+                # Still owned by someone else; wait for the new expiry.
+                self.sim.schedule_at(
+                    rec.lease_expiry + 1e-6, self._drain_pending, key
+                )
+                return
+        while rec.pending:
+            msg, requester_ip = rec.pending.popleft()
+            if rec.held_by_other(requester_ip, now):
+                rec.pending.appendleft((msg, requester_ip))
+                self.sim.schedule_at(
+                    rec.lease_expiry + 1e-6, self._drain_pending, key
+                )
+                return
+            reply = self._apply(rec, msg, requester_ip, now)
+            self._propagate_or_reply(key, rec, reply, requester_ip)
+
+    # -- chain replication ------------------------------------------------------
+
+    def _propagate_or_reply(
+        self,
+        key: FlowKey,
+        rec: FlowRecord,
+        reply: RedPlaneMessage,
+        requester_ip: int,
+    ) -> None:
+        if self.successor_ip is None:
+            self._reply(reply, requester_ip)
+            return
+        payload = _pack_chain_update(key, rec, reply, requester_ip)
+        pkt = Packet.udp(
+            self.ip, self.successor_ip, CHAIN_UDP_PORT, CHAIN_UDP_PORT, payload
+        )
+        pkt.meta["rp_kind"] = "chain"
+        self.send(pkt)
+
+    def _on_chain_packet(self, pkt: Packet) -> None:
+        key, state, reply, requester_ip = _unpack_chain_update(pkt.payload)
+        self.sim.schedule(
+            self.proc_delay_us, self._apply_chain, key, state, reply, requester_ip
+        )
+
+    def _apply_chain(
+        self,
+        key: FlowKey,
+        state: Tuple[List[int], bool, int, Optional[int], float],
+        reply: RedPlaneMessage,
+        requester_ip: int,
+    ) -> None:
+        if self.failed:
+            return
+        rec = self.record(key)
+        # Chain updates cross the (reorderable) fabric: apply only if the
+        # carried version is not older than what this replica holds — a
+        # late-arriving older update must never regress the record. The
+        # version is (last_seq, lease_expiry): sequence numbers order
+        # writes, lease expiry orders grants/renewals at equal sequence.
+        vals, initialized, last_seq, owner_ip, lease_expiry = state
+        if (last_seq, lease_expiry) >= (rec.last_seq, rec.lease_expiry):
+            rec.vals = list(vals)
+            rec.initialized = rec.initialized or initialized
+            rec.last_seq = last_seq
+            rec.owner_ip = owner_ip
+            rec.lease_expiry = lease_expiry
+        if reply.msg_type is MessageType.SNAPSHOT_REPL_ACK and reply.vals:
+            if reply.seq >= rec.snapshot_seqs.get(reply.aux, -1):
+                rec.snapshot_vals[reply.aux] = reply.vals[0]
+                rec.snapshot_seqs[reply.aux] = reply.seq
+        # The reply (and its piggybacked outputs) must travel regardless:
+        # even a stale-looking update acknowledges a real request.
+        self._propagate_or_reply(key, rec, reply, requester_ip)
+
+
+# -- chain update wire format -------------------------------------------------
+#
+# Chain updates are internal store-to-store messages. They carry the full
+# per-flow record plus the eventual reply; we serialize compactly enough to
+# account bandwidth honestly while keeping parsing trivial.
+
+
+def _pack_chain_update(
+    key: FlowKey,
+    rec: FlowRecord,
+    reply: RedPlaneMessage,
+    requester_ip: int,
+) -> bytes:
+    reply_bytes = reply.pack()
+    head = struct.pack(
+        "!13sB?IIdH",
+        key.pack(),
+        len(rec.vals),
+        rec.initialized,
+        rec.last_seq & 0xFFFFFFFF,
+        (rec.owner_ip or 0) & 0xFFFFFFFF,
+        rec.lease_expiry,
+        len(reply_bytes),
+    )
+    vals = b"".join(struct.pack("!I", v & 0xFFFFFFFF) for v in rec.vals)
+    return head + vals + reply_bytes + struct.pack("!I", requester_ip)
+
+
+def _unpack_chain_update(data: bytes):
+    head_struct = struct.Struct("!13sB?IIdH")
+    key_bytes, nvals, initialized, last_seq, owner_ip, expiry, reply_len = (
+        head_struct.unpack_from(data, 0)
+    )
+    offset = head_struct.size
+    vals = list(struct.unpack_from(f"!{nvals}I", data, offset) if nvals else ())
+    offset += 4 * nvals
+    reply = RedPlaneMessage.unpack(data[offset : offset + reply_len])
+    offset += reply_len
+    (requester_ip,) = struct.unpack_from("!I", data, offset)
+    key = FlowKey.unpack(key_bytes)
+    state = (vals, initialized, last_seq, owner_ip or None, expiry)
+    return key, state, reply, requester_ip
+
+
+def build_chain(nodes: List[StateStoreNode]) -> None:
+    """Wire a list of store nodes into a replication chain (head first)."""
+    if not nodes:
+        raise ValueError("empty chain")
+    for node, successor in zip(nodes, nodes[1:]):
+        node.successor_ip = successor.ip
+    nodes[-1].successor_ip = None
+
+
+def reconfigure_chain(nodes: List[StateStoreNode]) -> List[StateStoreNode]:
+    """Drop failed nodes from a chain and rewire the survivors.
+
+    Returns the surviving chain (possibly empty). Chain reconfiguration in
+    the prototype is handled by an external coordination service; we model
+    the end state.
+    """
+    alive = [node for node in nodes if not node.failed]
+    if alive:
+        build_chain(alive)
+    return alive

@@ -1,0 +1,161 @@
+"""The programmable switch ASIC: pipeline + traffic manager + peripherals.
+
+:class:`SwitchASIC` extends the plain L3 switch with everything the paper's
+design leans on:
+
+* a match-action :class:`~repro.switch.pipeline.Pipeline` of control blocks
+  (the application and the RedPlane protocol engine);
+* mirroring sessions with truncation (retransmission buffering, §5.2);
+* a hardware packet generator (snapshot replication, §5.4);
+* a slow control-plane channel (table installs, new-flow slow path);
+* packet-buffer occupancy accounting (Fig 15);
+* static resource accounting (Table 2).
+
+A packet addressed to the switch's own protocol IP (§5.1.2 assigns each
+RedPlane switch an IP) still traverses the pipeline — that is how state
+store responses reach the protocol engine — but is dropped rather than
+forwarded if no block consumes it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net import constants
+from repro.net.links import Port
+from repro.net.packet import Packet
+from repro.net.routing import L3Switch
+from repro.net.simulator import Simulator
+from repro.switch.control_plane import SwitchControlPlane
+from repro.switch.mirror import MirrorSession
+from repro.switch.pipeline import ControlBlock, Pipeline, PipelineContext, Verdict
+from repro.switch.pktgen import PacketGenerator
+from repro.switch.resources import ResourceModel
+
+
+class SwitchASIC(L3Switch):
+    """A Tofino-like programmable switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        ip: int,
+        buffer_bytes: int = constants.SWITCH_BUFFER_BYTES,
+        capacity_mpps: float = constants.SWITCH_MAX_FORWARD_MPPS,
+    ) -> None:
+        super().__init__(sim, name)
+        #: The switch's protocol address (for RedPlane messages).
+        self.ip = ip
+        self.pipeline = Pipeline()
+        self.control_plane = SwitchControlPlane(self)
+        self.pktgen = PacketGenerator(self)
+        self.resources = ResourceModel()
+        self.buffer_bytes = buffer_bytes
+        self.capacity_mpps = capacity_mpps
+        self._mirror_sessions: Dict[int, MirrorSession] = {}
+        self._next_mirror_id = 1
+        # Packet-buffer occupancy (bytes) due to mirrored/held packets.
+        self.buffer_occupancy = 0
+        self.peak_buffer_occupancy = 0
+        # Traffic accounting for the bandwidth-overhead experiments.
+        self.bytes_original_out = 0
+        self.bytes_protocol_out = 0
+        self.bytes_protocol_in = 0
+        #: Store-to-store chain traffic merely transiting this switch; not
+        #: part of the app switch's own send/receive accounting (Fig 10).
+        self.bytes_chain_transit = 0
+        self.pkts_processed = 0
+
+    # -- peripherals -----------------------------------------------------------
+
+    def new_mirror_session(
+        self,
+        truncate_to_bytes: Optional[int] = None,
+        pass_interval_us: float = constants.MIRROR_PASS_US,
+    ) -> MirrorSession:
+        session = MirrorSession(
+            self, self._next_mirror_id, truncate_to_bytes, pass_interval_us
+        )
+        self._mirror_sessions[self._next_mirror_id] = session
+        self._next_mirror_id += 1
+        return session
+
+    def add_block(self, block: ControlBlock) -> None:
+        """Append a control block and account its resources."""
+        self.pipeline.append(block)
+        self.resources.register(block.resource_usage())
+
+    # -- buffer accounting --------------------------------------------------------
+
+    def buffer_acquire(self, nbytes: int) -> None:
+        self.buffer_occupancy += nbytes
+        if self.buffer_occupancy > self.peak_buffer_occupancy:
+            self.peak_buffer_occupancy = self.buffer_occupancy
+        if self.buffer_occupancy > self.buffer_bytes:
+            raise RuntimeError(
+                f"{self.name}: packet buffer overflow "
+                f"({self.buffer_occupancy} > {self.buffer_bytes} bytes)"
+            )
+
+    def buffer_release(self, nbytes: int) -> None:
+        self.buffer_occupancy -= nbytes
+        if self.buffer_occupancy < 0:
+            raise AssertionError(f"{self.name}: negative buffer occupancy")
+
+    # -- packet processing -----------------------------------------------------------
+
+    def receive(self, pkt: Packet, port: Port) -> None:
+        self.process(pkt)
+
+    def inject(self, pkt: Packet) -> None:
+        """Entry point for generated / CPU-reinjected packets."""
+        self.process(pkt)
+
+    def process(self, pkt: Packet) -> None:
+        self.pkts_processed += 1
+        if pkt.meta.get("rp_kind") == "response":
+            # Piggybacked bytes are counted when the released output leaves.
+            piggyback = int(pkt.meta.get("rp_piggyback_len", 0))
+            self.bytes_protocol_in += pkt.byte_size() - piggyback
+        ctx = PipelineContext(pkt=pkt, now=self.sim.now)
+        self.pipeline.run(ctx, self)
+        if ctx.verdict is Verdict.FORWARD:
+            if pkt.ip is not None and pkt.ip.dst == self.ip:
+                # Addressed to the switch itself but no block consumed it.
+                self.sim.count(f"{self.name}.drops.to_self")
+            else:
+                self._egress(pkt)
+        elif ctx.verdict is Verdict.PUNT:
+            self.control_plane.punt(pkt)
+        for out in ctx.emitted:
+            self._egress(out)
+
+    def emit_from_pipeline(self, pkt: Packet) -> None:
+        """Send a pipeline-generated packet (e.g. a retransmission)."""
+        self._egress(pkt)
+
+    def _egress(self, pkt: Packet) -> None:
+        kind = pkt.meta.get("rp_kind")
+        if kind == "chain":
+            self.bytes_chain_transit += pkt.byte_size()
+        elif kind in ("request", "response"):
+            # Piggybacked original bytes ride inside protocol messages but
+            # are application traffic; only the encapsulation + RedPlane
+            # header count as replication overhead (Fig 10's accounting).
+            piggyback = int(pkt.meta.get("rp_piggyback_len", 0))
+            self.bytes_protocol_out += pkt.byte_size() - piggyback
+            self.bytes_original_out += piggyback
+        else:
+            self.bytes_original_out += pkt.byte_size()
+        self.forward(pkt)
+
+    # -- bandwidth overhead (Fig 10) -----------------------------------------------
+
+    def protocol_byte_fraction(self) -> float:
+        """Fraction of this switch's traffic that is RedPlane protocol bytes."""
+        protocol = self.bytes_protocol_out + self.bytes_protocol_in
+        total = protocol + self.bytes_original_out
+        if total == 0:
+            return 0.0
+        return protocol / total

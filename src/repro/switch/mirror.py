@@ -1,0 +1,127 @@
+"""Egress-to-egress packet mirroring.
+
+RedPlane repurposes the ASIC's mirroring capability as a retransmission
+buffer (§5.2): when a replication request is sent, a *truncated* copy (the
+RedPlane header only, not the piggybacked payload) is mirrored back into
+the egress pipeline, where it circulates until either an acknowledgment
+with an equal-or-higher sequence number arrives (drop the copy) or its
+timeout expires (resend it to the state store and keep circulating).
+
+While a copy circulates it occupies switch packet buffer; the ASIC tracks
+current and peak occupancy, which is what Fig 15 measures via queue-depth
+metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.net import constants
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.switch.asic import SwitchASIC
+
+#: Handler invoked on each recirculation pass; returns True to keep the
+#: copy circulating, False to release it.
+PassHandler = Callable[[Packet, Dict[str, object]], bool]
+
+
+class MirrorCopy:
+    """A handle to one circulating mirrored copy.
+
+    In hardware the copy passes through egress every pass interval and the
+    pipeline drops it as soon as its acknowledgment has been seen. The
+    simulator models that with events at the *action* times only (the
+    retransmission deadline), so whoever processes the acknowledgment must
+    call :meth:`MirrorSession.release` — that is the "drop on next pass",
+    collapsed to zero delay.
+    """
+
+    __slots__ = ("pkt", "meta", "size", "event", "released")
+
+    def __init__(self, pkt: Packet, meta: Dict[str, object], size: int) -> None:
+        self.pkt = pkt
+        self.meta = meta
+        self.size = size
+        self.event = None
+        self.released = False
+
+
+class MirrorSession:
+    """One mirroring session with optional truncation."""
+
+    def __init__(
+        self,
+        asic: "SwitchASIC",
+        session_id: int,
+        truncate_to_bytes: Optional[int] = None,
+        pass_interval_us: float = constants.MIRROR_PASS_US,
+    ) -> None:
+        self.asic = asic
+        self.session_id = session_id
+        self.truncate_to_bytes = truncate_to_bytes
+        self.pass_interval_us = pass_interval_us
+        self.handler: Optional[PassHandler] = None
+        self.active_copies = 0
+
+    def mirror(
+        self, pkt: Packet, meta: Optional[Dict[str, object]] = None
+    ) -> MirrorCopy:
+        """Mirror a (possibly truncated) copy into the egress pipeline."""
+        if self.handler is None:
+            raise RuntimeError(
+                f"mirror session {self.session_id} has no pass handler"
+            )
+        dup = pkt.copy()
+        if self.truncate_to_bytes is not None:
+            dup.meta["truncated_to"] = self.truncate_to_bytes
+        copy_meta: Dict[str, object] = dict(meta or {})
+        copy_meta["mirror_ts"] = self.asic.sim.now
+        copy = MirrorCopy(dup, copy_meta, self.buffered_size(dup))
+        self.active_copies += 1
+        self.asic.buffer_acquire(copy.size)
+        copy.event = self.asic.sim.schedule(
+            self.pass_interval_us, self._one_pass, copy
+        )
+        return copy
+
+    def release(self, copy: MirrorCopy) -> None:
+        """Drop a circulating copy (acknowledged, or no longer needed)."""
+        if copy.released:
+            return
+        copy.released = True
+        self.active_copies -= 1
+        self.asic.buffer_release(copy.size)
+        if copy.event is not None:
+            copy.event.cancel()
+            copy.event = None
+
+    def buffered_size(self, pkt: Packet) -> int:
+        """Bytes this copy occupies in the packet buffer."""
+        truncated = pkt.meta.get("truncated_to")
+        if truncated is not None:
+            return min(int(truncated), pkt.byte_size())
+        return pkt.byte_size()
+
+    def _one_pass(self, copy: MirrorCopy) -> None:
+        if copy.released:
+            return
+        copy.event = None
+        if self.asic.failed:
+            # The switch died with the copy in its buffer; state is gone.
+            self.release(copy)
+            return
+        keep = self.handler(copy.pkt, copy.meta)
+        if keep:
+            # Schedule the next *action* pass; the handler may set
+            # ``meta['next_pass_us']`` to skip the no-op recirculations
+            # between now and the retransmission deadline (pure
+            # event-count savings; releases happen via release()).
+            delay = max(
+                self.pass_interval_us,
+                float(copy.meta.pop("next_pass_us", 0.0)),
+            )
+            copy.event = self.asic.sim.schedule(delay, self._one_pass, copy)
+        else:
+            self.release(copy)

@@ -1,0 +1,117 @@
+"""Match-action pipeline abstractions.
+
+The model follows the Tofino architecture the paper targets (§2, "Primer on
+programmable switches"): a packet traverses an ingress pipeline and an
+egress pipeline, each a sequence of *control blocks*; state lives in
+stateful objects (register arrays, tables) that the blocks access under
+hardware constraints enforced here — most importantly, **one access per
+register array per packet** (§5.4: "the switch is architected, and the P4
+language is designed, to allow access to a single entry per register array
+per packet").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.switch.asic import SwitchASIC
+
+
+class Verdict(enum.Enum):
+    """What the pipeline decided to do with the original packet."""
+
+    #: Continue normal L3 forwarding after the pipeline.
+    FORWARD = "forward"
+    #: Drop the packet.
+    DROP = "drop"
+    #: The packet was consumed/transformed; only ``emitted`` packets leave.
+    CONSUMED = "consumed"
+    #: Send to the switch CPU over the PCIe channel.
+    PUNT = "punt"
+
+
+@dataclass
+class PipelineContext:
+    """Per-packet execution context threading through the pipeline.
+
+    Tracks the hardware access constraint: a register array may be touched
+    at most once while processing one packet.
+    """
+
+    pkt: Packet
+    now: float
+    verdict: Verdict = Verdict.FORWARD
+    #: Additional packets generated while processing (replication requests,
+    #: mirrored copies already materialized, responses); each is routed
+    #: independently after the pipeline completes.
+    emitted: List[Packet] = field(default_factory=list)
+    #: Scratch metadata (the P4 ``metadata`` struct equivalent).
+    meta: Dict[str, Any] = field(default_factory=dict)
+    _accessed_arrays: Set[int] = field(default_factory=set)
+
+    def note_register_access(self, array: object) -> None:
+        key = id(array)
+        if key in self._accessed_arrays:
+            raise RegisterAccessError(
+                f"register array {getattr(array, 'name', array)!r} accessed "
+                "twice for one packet; Tofino allows a single access per "
+                "array per packet"
+            )
+        self._accessed_arrays.add(key)
+
+    # -- verdict helpers ------------------------------------------------------
+
+    def drop(self) -> None:
+        self.verdict = Verdict.DROP
+
+    def consume(self) -> None:
+        self.verdict = Verdict.CONSUMED
+
+    def punt(self) -> None:
+        self.verdict = Verdict.PUNT
+
+    def emit(self, pkt: Packet) -> None:
+        self.emitted.append(pkt)
+
+
+class RegisterAccessError(RuntimeError):
+    """A P4 program violated the one-access-per-array-per-packet rule."""
+
+
+class ControlBlock:
+    """Base class for pipeline stages (the P4 ``control`` equivalent).
+
+    Blocks are applied in order; a block may stop processing of later
+    blocks by returning ``False`` from :meth:`process` (e.g. when the
+    packet was consumed by the protocol engine).
+    """
+
+    name = "block"
+
+    def process(self, ctx: PipelineContext, switch: "SwitchASIC") -> bool:
+        raise NotImplementedError
+
+    def resource_usage(self) -> Dict[str, float]:
+        """Absolute resource units consumed; see :mod:`repro.switch.resources`."""
+        return {}
+
+
+class Pipeline:
+    """An ordered list of control blocks applied to each packet."""
+
+    def __init__(self, blocks: Optional[List[ControlBlock]] = None) -> None:
+        self.blocks: List[ControlBlock] = list(blocks or [])
+
+    def append(self, block: ControlBlock) -> None:
+        self.blocks.append(block)
+
+    def run(self, ctx: PipelineContext, switch: "SwitchASIC") -> None:
+        for block in self.blocks:
+            keep_going = block.process(ctx, switch)
+            if keep_going is False:
+                break

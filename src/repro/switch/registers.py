@@ -1,0 +1,141 @@
+"""Stateful register arrays, the switch's data-plane memory.
+
+Registers model Tofino stateful ALU semantics:
+
+* a register array holds ``size`` entries of ``width_bits`` each (or pairs
+  of entries, Tofino's ``pair<int,int>``);
+* each array can be accessed **once per packet**, and that access is a
+  single read-modify-write executed atomically by the stateful ALU;
+* updates from the data plane are immediate; the control plane can also
+  read/write them (slowly) over PCIe.
+
+SRAM usage is accounted for the Table 2 reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.switch.pipeline import PipelineContext
+
+
+class RegisterArray:
+    """A register array of single values."""
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        width_bits: int = 32,
+        initial: int = 0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("register array size must be positive")
+        if width_bits not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported register width: {width_bits}")
+        self.name = name
+        self.size = size
+        self.width_bits = width_bits
+        self._mask = (1 << width_bits) - 1
+        self._values: List[int] = [initial & self._mask] * size
+
+    # -- data-plane access (constrained) ---------------------------------------
+
+    def access(
+        self,
+        ctx: PipelineContext,
+        index: int,
+        fn: Callable[[int], Tuple[int, int]],
+    ) -> int:
+        """One atomic read-modify-write: ``fn(old) -> (new, result)``.
+
+        This is the single permitted data-plane touch of this array for
+        ``ctx``'s packet; the returned ``result`` is what the stateful ALU
+        hands back to the pipeline.
+        """
+        ctx.note_register_access(self)
+        self._check_index(index)
+        new, result = fn(self._values[index])
+        self._values[index] = new & self._mask
+        return result
+
+    def read(self, ctx: PipelineContext, index: int) -> int:
+        """Data-plane read (counts as the packet's single access)."""
+        return self.access(ctx, index, lambda old: (old, old))
+
+    def write(self, ctx: PipelineContext, index: int, value: int) -> int:
+        """Data-plane write (counts as the packet's single access)."""
+        return self.access(ctx, index, lambda old: (value, value))
+
+    # -- control-plane access (unconstrained but slow in real hardware) --------
+
+    def cp_read(self, index: int) -> int:
+        self._check_index(index)
+        return self._values[index]
+
+    def cp_write(self, index: int, value: int) -> None:
+        self._check_index(index)
+        self._values[index] = value & self._mask
+
+    def cp_dump(self) -> List[int]:
+        return list(self._values)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}[{index}] out of range (size {self.size})")
+
+    # -- accounting -----------------------------------------------------------
+
+    def sram_bits(self) -> int:
+        return self.size * self.width_bits
+
+    def __repr__(self) -> str:
+        return f"<RegisterArray {self.name} {self.size}x{self.width_bits}b>"
+
+
+class PairedRegisterArray:
+    """A register array of ``pair<int,int>`` entries.
+
+    Used by the lazy-snapshotting structure (Algorithm 1): each index holds
+    two interleaved copies of one logical slot, and one packet's single
+    access can read/update both halves atomically.
+    """
+
+    def __init__(self, name: str, size: int, width_bits: int = 32) -> None:
+        self.name = name
+        self.size = size
+        self.width_bits = width_bits
+        self._mask = (1 << width_bits) - 1
+        self._values: List[Tuple[int, int]] = [(0, 0)] * size
+
+    def access(
+        self,
+        ctx: PipelineContext,
+        index: int,
+        fn: Callable[[int, int], Tuple[int, int, int]],
+    ) -> int:
+        """Atomic RMW over the pair: ``fn(lo, hi) -> (new_lo, new_hi, result)``."""
+        ctx.note_register_access(self)
+        self._check_index(index)
+        lo, hi = self._values[index]
+        new_lo, new_hi, result = fn(lo, hi)
+        self._values[index] = (new_lo & self._mask, new_hi & self._mask)
+        return result
+
+    def cp_read(self, index: int) -> Tuple[int, int]:
+        self._check_index(index)
+        return self._values[index]
+
+    def cp_write(self, index: int, lo: int, hi: int) -> None:
+        self._check_index(index)
+        self._values[index] = (lo & self._mask, hi & self._mask)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}[{index}] out of range (size {self.size})")
+
+    def sram_bits(self) -> int:
+        return self.size * self.width_bits * 2
+
+    def __repr__(self) -> str:
+        return f"<PairedRegisterArray {self.name} {self.size}x2x{self.width_bits}b>"

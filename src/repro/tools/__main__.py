@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.tools``."""
+
+from repro.tools.runner import main
+
+raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""Experiment runner: regenerate any table or figure from the command line.
+
+Usage::
+
+    python -m repro.tools list              # inventory of experiments
+    python -m repro.tools run fig8          # one experiment
+    python -m repro.tools run all           # everything (slow)
+
+Each experiment is a pytest benchmark under ``benchmarks/``; the runner
+invokes pytest with the right selection so the printed rows land on
+stdout. This is the command EXPERIMENTS.md points at for every number it
+quotes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from typing import Dict, List, Optional
+
+#: Experiment id -> (benchmark file, one-line description).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig8": ("test_fig08_nat_latency.py",
+             "RTT CDF: NAT under six implementations"),
+    "fig9": ("test_fig09_app_latency.py",
+             "RTT per RedPlane-enabled application"),
+    "fig10": ("test_fig10_bandwidth.py",
+              "replication bandwidth share per application"),
+    "fig11": ("test_fig11_snapshot_bw.py",
+              "snapshot bandwidth vs frequency and sketch count"),
+    "fig12": ("test_fig12_throughput.py",
+              "data-plane throughput with and without RedPlane"),
+    "fig13": ("test_fig13_kv_update_ratio.py",
+              "KV-store throughput vs update ratio and store count"),
+    "fig14": ("test_fig14_failover.py",
+              "TCP goodput during switch failover and recovery"),
+    "fig15": ("test_fig15_buffer.py",
+              "packet-buffer occupancy from request buffering"),
+    "table1": ("test_table1_failure_impact.py",
+               "failure impact per application, with and without RedPlane"),
+    "table2": ("test_table2_resources.py",
+               "ASIC resources used by RedPlane"),
+    "appc": ("test_appc_model_check.py",
+             "model checking the protocol spec"),
+    "ablation-lease": ("test_ablation_lease.py",
+                       "lease period vs recovery time"),
+    "ablation-retransmit": ("test_ablation_retransmit.py",
+                            "retransmission timeout under loss"),
+    "ablation-piggyback": ("test_ablation_piggyback.py",
+                           "piggybacking vs on-switch output buffering"),
+}
+
+
+def benchmarks_dir() -> str:
+    """Locate the benchmarks directory relative to the repository root."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    for candidate in (
+        os.path.join(here, "..", "..", "..", "benchmarks"),
+        os.path.join(os.getcwd(), "benchmarks"),
+    ):
+        path = os.path.normpath(candidate)
+        if os.path.isdir(path):
+            return path
+    raise FileNotFoundError(
+        "cannot locate the benchmarks/ directory; run from the repo root"
+    )
+
+
+def run_experiment(name: str, extra_args: Optional[List[str]] = None) -> int:
+    """Run one experiment (or 'all'); returns the pytest exit code."""
+    bench_dir = benchmarks_dir()
+    if name == "all":
+        targets = [os.path.join(bench_dir, f) for f, _ in EXPERIMENTS.values()]
+    else:
+        if name not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+            )
+        targets = [os.path.join(bench_dir, EXPERIMENTS[name][0])]
+    cmd = [sys.executable, "-m", "pytest", *targets,
+           "--benchmark-only", "-q", "-s"]
+    cmd.extend(extra_args or [])
+    return subprocess.call(cmd)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="show the experiment inventory")
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="fig8..fig15, table1, table2, "
+                                               "appc, ablation-*, or all")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for key, (_file, description) in EXPERIMENTS.items():
+            print(f"{key.ljust(width)}  {description}")
+        return 0
+    return run_experiment(args.experiment)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Failure-scenario library.
+
+Parameterized failure schedules used by tests, benchmarks, and examples:
+the paper's single fail-stop (§7.3), link flapping (the Fig 7a stale-state
+hazard), rolling failures, and correlated rack failures. Each scenario
+schedules its events on a deployment and records what it did, so an
+experiment can correlate measurements with injected faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.deploy import Deployment
+from repro.net import constants
+
+
+@dataclass
+class InjectedFault:
+    time_us: float
+    kind: str       # "fail_node" | "recover_node" | "fail_link" | "recover_link"
+    target: str
+
+
+@dataclass
+class FailureSchedule:
+    """A list of injected faults, applied to a deployment's topology."""
+
+    deployment: Deployment
+    detect_delay_us: float = constants.FAILURE_DETECT_US
+    log: List[InjectedFault] = field(default_factory=list)
+
+    # -- primitives --------------------------------------------------------
+
+    def fail_switch_at(self, time_us: float, name: str) -> None:
+        node = self.deployment.bed.topology.nodes[name]
+        self.deployment.sim.schedule_at(
+            time_us, self.deployment.bed.topology.fail_node, node,
+            self.detect_delay_us,
+        )
+        self.log.append(InjectedFault(time_us, "fail_node", name))
+
+    def recover_switch_at(self, time_us: float, name: str) -> None:
+        node = self.deployment.bed.topology.nodes[name]
+        self.deployment.sim.schedule_at(
+            time_us, self.deployment.bed.topology.recover_node, node,
+            self.detect_delay_us,
+        )
+        self.log.append(InjectedFault(time_us, "recover_node", name))
+
+    def fail_store_at(self, time_us: float, index: int) -> None:
+        store = self.deployment.stores[index]
+        self.deployment.sim.schedule_at(time_us, store.fail)
+        self.log.append(InjectedFault(time_us, "fail_node", store.name))
+
+    # -- canned scenarios -----------------------------------------------------
+
+    def single_failover(self, fail_at_us: float,
+                        recover_at_us: Optional[float] = None,
+                        switch: str = "agg1") -> "FailureSchedule":
+        """The §7.3 scenario: one aggregation switch fails (and recovers)."""
+        self.fail_switch_at(fail_at_us, switch)
+        if recover_at_us is not None:
+            self.recover_switch_at(recover_at_us, switch)
+        return self
+
+    def flapping_link(self, first_fail_us: float, period_us: float,
+                      flaps: int, link_index: int = 0) -> "FailureSchedule":
+        """A link that fails and recovers repeatedly (Fig 7a's hazard:
+        a switch that keeps its state across connectivity loss)."""
+        topo = self.deployment.bed.topology
+        link = topo.links[link_index]
+        for i in range(flaps):
+            down_at = first_fail_us + i * period_us
+            up_at = down_at + period_us / 2
+            self.deployment.sim.schedule_at(
+                down_at, topo.fail_link, link, self.detect_delay_us)
+            self.deployment.sim.schedule_at(
+                up_at, topo.recover_link, link, self.detect_delay_us)
+            self.log.append(InjectedFault(down_at, "fail_link", link.name))
+            self.log.append(InjectedFault(up_at, "recover_link", link.name))
+        return self
+
+    def rolling_switch_failures(self, start_us: float, gap_us: float
+                                ) -> "FailureSchedule":
+        """Fail each aggregation switch in turn, recovering the previous
+        one first — state migrates around the cluster."""
+        aggs = [a.name for a in self.deployment.bed.aggs]
+        t = start_us
+        previous: Optional[str] = None
+        for name in aggs:
+            if previous is not None:
+                self.recover_switch_at(t - gap_us / 2, previous)
+            self.fail_switch_at(t, name)
+            previous = name
+            t += gap_us
+        if previous is not None:
+            self.recover_switch_at(t, previous)
+        return self
+
+    def rack_failure(self, time_us: float, rack: int) -> "FailureSchedule":
+        """Correlated failure: a rack's ToR and its store server die
+        together (fiber cut / PDU failure)."""
+        bed = self.deployment.bed
+        tor = bed.tors[rack - 1]
+        self.deployment.sim.schedule_at(
+            time_us, bed.topology.fail_node, tor, self.detect_delay_us)
+        self.log.append(InjectedFault(time_us, "fail_node", tor.name))
+        for store in self.deployment.stores:
+            if store.name == f"st{rack}":
+                self.deployment.sim.schedule_at(time_us, store.fail)
+                self.log.append(InjectedFault(time_us, "fail_node", store.name))
+        return self
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary(self) -> List[Tuple[float, str, str]]:
+        return [(f.time_us, f.kind, f.target) for f in
+                sorted(self.log, key=lambda f: f.time_us)]

@@ -1,0 +1,73 @@
+"""Latency measurement harness for the Fig 8 / Fig 9 experiments.
+
+The paper measures per-packet processing latency by having each
+application "send packets back to a sender node and track the RTT of each
+packet" (§7.1). Here: an :class:`EchoResponder` on the far host reflects
+every packet (headers swapped), and an :class:`RttProbe` on the near host
+replays a trace and matches reflections by the IP identification field
+(which doubles as the trace id throughout the reproduction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.hosts import Host
+from repro.net.packet import Packet, TCPHeader, UDPHeader
+from repro.net.simulator import Simulator
+from repro.workloads.traces import TraceEvent
+
+
+class EchoResponder:
+    """Reflects packets back to their (possibly translated) source."""
+
+    def __init__(self, host: Host, bind_port: Optional[int] = None) -> None:
+        self.host = host
+        self.reflected = 0
+        if bind_port is not None:
+            host.bind(bind_port, self._reflect)
+        else:
+            host.default_handler = self._reflect
+
+    def _reflect(self, pkt: Packet) -> None:
+        echo = pkt.copy()
+        echo.ip.src, echo.ip.dst = pkt.ip.dst, pkt.ip.src
+        if isinstance(echo.l4, (UDPHeader, TCPHeader)):
+            echo.l4.sport, echo.l4.dport = pkt.l4.dport, pkt.l4.sport
+        echo.ip.ttl = 64
+        self.reflected += 1
+        self.host.send(echo)
+
+
+class RttProbe:
+    """Replays a trace from a host and collects per-packet RTTs (us)."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self.sim: Simulator = host.sim
+        self._sent_at: Dict[int, float] = {}
+        self.rtts_us: List[float] = []
+        self.unmatched = 0
+        host.default_handler = self._on_reply
+
+    def replay(self, events: List[TraceEvent]) -> None:
+        base = self.sim.now
+        for event in events:
+            self.sim.schedule_at(base + event.time_us, self._send_one, event)
+
+    def _send_one(self, event: TraceEvent) -> None:
+        self._sent_at[event.trace_id] = self.sim.now
+        self.host.send(event.pkt)
+
+    def _on_reply(self, pkt: Packet) -> None:
+        trace_id = pkt.ip.identification if pkt.ip is not None else None
+        sent = self._sent_at.pop(trace_id, None)
+        if sent is None:
+            self.unmatched += 1
+            return
+        self.rtts_us.append(self.sim.now - sent)
+
+    @property
+    def lost(self) -> int:
+        """Probes that never came back (dropped or still pending)."""
+        return len(self._sent_at)

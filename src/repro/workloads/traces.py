@@ -1,0 +1,195 @@
+"""Synthetic packet traces standing in for the paper's real traces.
+
+The paper replays a datacenter trace [2] and an enterprise trace [1]
+(100,000 packets, 64-1500 B). Those corpora are not redistributable, so we
+synthesize traces with the characteristics the experiments depend on:
+
+* a Zipf flow-popularity distribution (heavy-tailed flow sizes, as in DC
+  measurement studies);
+* the bimodal packet-size mix of datacenter traffic (many minimum-size
+  packets, a large share of MTU-size);
+* per-application packet formats (plain 5-tuple traffic, GTP data +
+  signaling at the paper's 1:17 ratio, KV ops at a configurable update
+  ratio, VLAN-tagged tenant traffic).
+
+Every generator is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.apps.epc_sgw import make_data_packet, make_signaling_packet
+from repro.apps.kv_store import OP_READ, OP_UPDATE, make_request
+
+#: Empirical-ish datacenter packet-size buckets (bytes) and weights,
+#: matching the bimodal 64-vs-MTU shape of the IMC'10 DC traces.
+SIZE_BUCKETS: List[Tuple[int, float]] = [
+    (64, 0.45),
+    (128, 0.10),
+    (256, 0.09),
+    (512, 0.08),
+    (1024, 0.08),
+    (1500, 0.20),
+]
+
+
+@dataclass
+class TraceEvent:
+    """One packet release: when, what, and a trace id for latency matching."""
+
+    time_us: float
+    pkt: Packet
+    trace_id: int
+    flow: int
+
+
+def _zipf_flow(rng: random.Random, num_flows: int, skew: float) -> int:
+    """Sample a flow index with Zipf(s=skew) popularity."""
+    # Inverse-CDF over precomputed weights would be faster, but trace sizes
+    # here are modest; rejection-free weighted choice is fine.
+    weights = getattr(_zipf_flow, "_cache", None)
+    if weights is None or len(weights) != num_flows:
+        weights = [1.0 / ((i + 1) ** skew) for i in range(num_flows)]
+        _zipf_flow._cache = weights  # type: ignore[attr-defined]
+    return rng.choices(range(num_flows), weights=weights, k=1)[0]
+
+
+def packet_size(rng: random.Random) -> int:
+    sizes, weights = zip(*SIZE_BUCKETS)
+    return rng.choices(sizes, weights=weights, k=1)[0]
+
+
+def five_tuple_trace(
+    num_packets: int,
+    num_flows: int,
+    src_ip: int,
+    dst_ip: int,
+    mean_gap_us: float = 5.0,
+    zipf_skew: float = 1.1,
+    base_sport: int = 20000,
+    dport: int = 7777,
+    flow_stagger_us: float = 0.0,
+    seed: int = 0,
+) -> List[TraceEvent]:
+    """Plain UDP 5-tuple traffic from one sender (NAT/firewall/counter).
+
+    ``flow_stagger_us`` spreads flow *arrivals* over time (flow ``f``
+    becomes eligible at ``f * stagger``), modeling connections opening
+    throughout the trace as in the real captures, rather than every flow
+    appearing in the first millisecond.
+    """
+    rng = random.Random(seed)
+    events: List[TraceEvent] = []
+    t = 0.0
+    for i in range(num_packets):
+        flow = _zipf_flow(rng, num_flows, zipf_skew)
+        if flow_stagger_us > 0.0:
+            eligible = max(1, min(num_flows, int(t / flow_stagger_us) + 1))
+            flow = flow % eligible
+        size = packet_size(rng)
+        payload = b"\x00" * max(0, size - 42)
+        pkt = Packet.udp(src_ip, dst_ip, base_sport + flow, dport, payload=payload)
+        pkt.ip.identification = i & 0xFFFF
+        events.append(TraceEvent(time_us=t, pkt=pkt, trace_id=i, flow=flow))
+        t += rng.expovariate(1.0 / mean_gap_us)
+    return events
+
+
+def epc_trace(
+    num_packets: int,
+    num_users: int,
+    src_ip: int,
+    dst_ip: int,
+    signaling_every: int = 18,
+    mean_gap_us: float = 5.0,
+    seed: int = 0,
+) -> List[TraceEvent]:
+    """GTP traffic: 1 signaling packet per ``signaling_every - 1`` data
+    packets (the paper injects one per 17 data packets, i.e. 1/18 of all)."""
+    rng = random.Random(seed)
+    events: List[TraceEvent] = []
+    teids = {user: 1000 + user for user in range(num_users)}
+    t = 0.0
+    for i in range(num_packets):
+        user = rng.randrange(num_users)
+        if i % signaling_every == signaling_every - 1:
+            teids[user] += 1
+            pkt = make_signaling_packet(src_ip, dst_ip, user, teids[user])
+        else:
+            pkt = make_data_packet(
+                src_ip, dst_ip, user, teids[user],
+                payload=b"\x00" * max(0, packet_size(rng) - 50),
+            )
+        pkt.ip.identification = i & 0xFFFF
+        events.append(TraceEvent(time_us=t, pkt=pkt, trace_id=i, flow=user))
+        t += rng.expovariate(1.0 / mean_gap_us)
+    return events
+
+
+def kv_trace(
+    num_packets: int,
+    num_keys: int,
+    src_ip: int,
+    update_ratio: float,
+    mean_gap_us: float = 5.0,
+    seed: int = 0,
+) -> List[TraceEvent]:
+    """KV requests with uniformly random keys (Fig 13's workload)."""
+    if not 0.0 <= update_ratio <= 1.0:
+        raise ValueError("update ratio must be in [0, 1]")
+    rng = random.Random(seed)
+    events: List[TraceEvent] = []
+    t = 0.0
+    for i in range(num_packets):
+        key = rng.randrange(num_keys)
+        # The source port is a function of the key so that ECMP routes all
+        # requests for one object to the same switch (partition affinity,
+        # §2 "Network model") — otherwise every object's lease would
+        # ping-pong between switches.
+        sport = 5301 + (key % 64)
+        if rng.random() < update_ratio:
+            pkt = make_request(src_ip, OP_UPDATE, key,
+                               value=rng.randrange(1 << 30), sport=sport)
+        else:
+            pkt = make_request(src_ip, OP_READ, key, sport=sport)
+        pkt.ip.identification = i & 0xFFFF
+        events.append(TraceEvent(time_us=t, pkt=pkt, trace_id=i, flow=key))
+        t += rng.expovariate(1.0 / mean_gap_us)
+    return events
+
+
+def vlan_trace(
+    num_packets: int,
+    vlans: List[int],
+    flows_per_vlan: int,
+    src_ip: int,
+    dst_ip: int,
+    mean_gap_us: float = 5.0,
+    zipf_skew: float = 1.2,
+    seed: int = 0,
+) -> List[TraceEvent]:
+    """VLAN-tagged tenant traffic for the heavy-hitter detector."""
+    rng = random.Random(seed)
+    events: List[TraceEvent] = []
+    t = 0.0
+    for i in range(num_packets):
+        vlan = rng.choice(vlans)
+        flow = _zipf_flow(rng, flows_per_vlan, zipf_skew)
+        pkt = Packet.udp(
+            src_ip, dst_ip, 30000 + flow, 7777,
+            payload=b"\x00" * max(0, packet_size(rng) - 46), vlan=vlan,
+        )
+        pkt.ip.identification = i & 0xFFFF
+        events.append(TraceEvent(time_us=t, pkt=pkt, trace_id=i, flow=flow))
+        t += rng.expovariate(1.0 / mean_gap_us)
+    return events
+
+
+def replay(sim, host, events: List[TraceEvent]) -> None:
+    """Schedule a trace's packets for transmission from ``host``."""
+    for event in events:
+        sim.schedule_at(sim.now + event.time_us, host.send, event.pkt)

@@ -1,0 +1,152 @@
+"""Tests for statistics, bandwidth accounting, and the fluid model."""
+
+import pytest
+
+from repro.analysis import (
+    APP_PROFILES,
+    cdf_points,
+    fig11_series,
+    fig12_rows,
+    fig13_series,
+    format_cdf_row,
+    kv_throughput_mpps,
+    percentile,
+    snapshot_bandwidth_mbps,
+    summarize,
+    throughput_mpps,
+)
+
+
+# ---------------------------------------------------------------------------
+# stats
+# ---------------------------------------------------------------------------
+
+
+def test_percentile_interpolation():
+    samples = [1, 2, 3, 4]
+    assert percentile(samples, 0) == 1
+    assert percentile(samples, 100) == 4
+    assert percentile(samples, 50) == pytest.approx(2.5)
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 120)
+
+
+def test_summarize_keys():
+    s = summarize([5.0] * 10)
+    assert s["p50"] == 5.0 and s["p99"] == 5.0 and s["count"] == 10
+
+
+def test_cdf_points_monotone():
+    points = cdf_points([3, 1, 2])
+    assert points == [(1, pytest.approx(1 / 3)), (2, pytest.approx(2 / 3)),
+                      (3, pytest.approx(1.0))]
+    assert cdf_points([]) == []
+
+
+def test_format_cdf_row_contains_stats():
+    row = format_cdf_row("x", [1.0, 2.0, 3.0])
+    assert "p50" in row and "p99" in row and "n=3" in row
+
+
+# ---------------------------------------------------------------------------
+# bandwidth (Figs 10/11)
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_bandwidth_matches_paper_point():
+    """3 sketches x 64 slots at 1 kHz: the paper reports 34.16 Mbps."""
+    mbps = snapshot_bandwidth_mbps(3, 64, 1000.0)
+    assert mbps == pytest.approx(34.16, rel=0.20)
+
+
+def test_snapshot_bandwidth_linear_in_freq_and_sketches():
+    assert snapshot_bandwidth_mbps(3, 64, 512) == pytest.approx(
+        snapshot_bandwidth_mbps(3, 64, 256) * 2
+    )
+    assert snapshot_bandwidth_mbps(5, 64, 512) == pytest.approx(
+        snapshot_bandwidth_mbps(1, 64, 512) * 5
+    )
+
+
+def test_fig11_series_shape():
+    series = fig11_series([3, 4, 5], [32, 64, 128, 256, 512, 1024])
+    assert set(series) == {3, 4, 5}
+    for values in series.values():
+        assert all(b > a for a, b in zip(values, values[1:]))
+    assert max(series[5]) < 100.0  # well under Sync-Counter's overhead
+
+
+# ---------------------------------------------------------------------------
+# throughput (Figs 12/13)
+# ---------------------------------------------------------------------------
+
+
+def test_read_centric_apps_keep_line_rate():
+    for name in ("nat", "firewall", "load-balancer", "hh-detector"):
+        profile = APP_PROFILES[name]
+        assert throughput_mpps(profile, redplane=True) == pytest.approx(
+            throughput_mpps(profile, redplane=False)
+        )
+
+
+def test_sync_counter_roughly_halves():
+    profile = APP_PROFILES["sync-counter"]
+    without = throughput_mpps(profile, redplane=False)
+    with_rp = throughput_mpps(profile, redplane=True, num_shards=3)
+    assert with_rp == pytest.approx(without / 2, rel=0.05)
+
+
+def test_epc_slightly_lower():
+    profile = APP_PROFILES["epc-sgw"]
+    without = throughput_mpps(profile, redplane=False)
+    with_rp = throughput_mpps(profile, redplane=True)
+    assert 0.9 * without < with_rp < without
+
+
+def test_fig12_rows_complete():
+    rows = fig12_rows()
+    apps = {row["app"] for row in rows}
+    assert {"nat", "firewall", "load-balancer", "epc-sgw", "hh-detector",
+            "sync-counter"} == apps
+    for row in rows:
+        assert row["with_mpps"] <= row["without_mpps"] + 1e-9
+
+
+def test_kv_throughput_scales_with_stores():
+    # Write-heavy: each extra store adds capacity.
+    t1 = kv_throughput_mpps(1.0, 1)
+    t2 = kv_throughput_mpps(1.0, 2)
+    t3 = kv_throughput_mpps(1.0, 3)
+    assert t2 == pytest.approx(2 * t1)
+    assert t3 == pytest.approx(3 * t1)
+    # Read-only: the ceiling, regardless of stores.
+    assert kv_throughput_mpps(0.0, 1) == kv_throughput_mpps(0.0, 3)
+
+
+def test_kv_throughput_monotone_decreasing_in_update_ratio():
+    ratios = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+    series = fig13_series(ratios)
+    for values in series.values():
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_kv_crossover_moves_right_with_more_stores():
+    """With more stores, the store bottleneck kicks in at higher ratios."""
+
+    def crossover(stores):
+        for u in [i / 100 for i in range(1, 101)]:
+            if kv_throughput_mpps(u, stores) < kv_throughput_mpps(0.0, stores):
+                return u
+        return 1.0
+
+    assert crossover(1) < crossover(2) < crossover(3)
+
+
+def test_kv_update_ratio_validation():
+    with pytest.raises(ValueError):
+        kv_throughput_mpps(-0.1, 1)

@@ -1,0 +1,64 @@
+"""Tests for the one-call deployment helper."""
+
+import pytest
+
+from repro import RedPlaneConfig, Simulator, deploy
+from repro.apps.counter import SyncCounterApp
+from repro.core.engine import RedPlaneEngine
+from repro.statestore import MutableShardMap, StateStoreNode
+
+
+def test_default_deployment_shape(sim):
+    dep = deploy(sim, SyncCounterApp)
+    assert len(dep.switches) == 2
+    assert set(dep.engines) == {"agg1", "agg2"}
+    assert all(isinstance(e, RedPlaneEngine) for e in dep.engines.values())
+    assert len(dep.stores) == 3
+    assert all(isinstance(st, StateStoreNode) for st in dep.stores)
+    assert dep.shard_map.num_shards == 1
+    assert isinstance(dep.shard_map, MutableShardMap)
+    # One chain of three: st1 -> st2 -> st3.
+    assert dep.stores[0].successor_ip == dep.stores[1].ip
+    assert dep.stores[1].successor_ip == dep.stores[2].ip
+    assert dep.stores[2].successor_ip is None
+    assert dep.chains == [[dep.stores[0], dep.stores[1], dep.stores[2]]]
+
+
+def test_three_single_node_shards(sim):
+    dep = deploy(sim, SyncCounterApp, num_shards=3, chain_length=1)
+    assert dep.shard_map.num_shards == 3
+    assert all(st.successor_ip is None for st in dep.stores)
+    heads = {a.ip for a in dep.shard_map.addresses()}
+    assert heads == {st.ip for st in dep.stores}
+
+
+def test_each_switch_gets_its_own_app(sim):
+    dep = deploy(sim, SyncCounterApp)
+    assert dep.apps["agg1"] is not dep.apps["agg2"]
+
+
+def test_engine_of(sim):
+    dep = deploy(sim, SyncCounterApp)
+    for agg in dep.switches:
+        assert dep.engine_of(agg) is dep.engines[agg.name]
+
+
+def test_config_propagates(sim):
+    cfg = RedPlaneConfig(lease_period_us=123_456.0, max_flows=17)
+    dep = deploy(sim, SyncCounterApp, config=cfg)
+    for engine in dep.engines.values():
+        assert engine.config.lease_period_us == 123_456.0
+        assert engine.config.max_flows == 17
+    # The store grants leases of the same duration.
+    assert all(st.lease_period_us == 123_456.0 for st in dep.stores)
+
+
+def test_allocator_reaches_stores(sim):
+    allocator = lambda key: [7]
+    dep = deploy(sim, SyncCounterApp, allocator=allocator)
+    assert all(st.allocator is allocator for st in dep.stores)
+
+
+def test_oversized_chain_rejected(sim):
+    with pytest.raises(ValueError):
+        deploy(sim, SyncCounterApp, num_shards=3, chain_length=2)

@@ -1,0 +1,53 @@
+"""Tests for state specs and access-tracking views."""
+
+import pytest
+
+from repro.core.flowstate import FlowStateView, StateSpec
+
+
+def test_spec_defaults_and_lookup():
+    spec = StateSpec.of(("a", 1), ("b", 2))
+    assert spec.num_vals == 2
+    assert spec.default_vals() == [1, 2]
+    assert spec.index_of("b") == 1
+    assert spec.names() == ["a", "b"]
+    with pytest.raises(KeyError):
+        spec.index_of("missing")
+
+
+def test_duplicate_field_names_rejected():
+    with pytest.raises(ValueError):
+        StateSpec.of(("x", 0), ("x", 1))
+
+
+def test_view_tracks_reads_and_writes():
+    spec = StateSpec.of(("count", 0))
+    view = FlowStateView(spec, [5])
+    assert not view.read_occurred and not view.write_occurred
+    assert view.get("count") == 5
+    assert view.read_occurred and not view.write_occurred
+    view.set("count", 6)
+    assert view.write_occurred
+    assert view.vals() == [6]
+
+
+def test_increment_is_read_and_write():
+    view = FlowStateView(StateSpec.of(("c", 0)), [9])
+    assert view.increment("c") == 10
+    assert view.read_occurred and view.write_occurred
+
+
+def test_u32_wraparound():
+    view = FlowStateView(StateSpec.of(("c", 0)), [0xFFFFFFFF])
+    assert view.increment("c") == 0
+
+
+def test_value_count_must_match_spec():
+    with pytest.raises(ValueError):
+        FlowStateView(StateSpec.of(("a", 0)), [1, 2])
+
+
+def test_empty_spec():
+    view = FlowStateView(StateSpec.of(), [])
+    assert view.vals() == []
+    assert not view.write_occurred

@@ -1,0 +1,35 @@
+"""Tests for the latency decomposition helpers."""
+
+import pytest
+
+from repro.analysis import (
+    overhead_vs_baseline,
+    slow_path_fraction,
+    split_fast_slow,
+)
+
+
+def test_split_fast_slow():
+    rtts = [8.0] * 95 + [120.0] * 5
+    bands = split_fast_slow(rtts)
+    assert len(bands.fast_path) == 95
+    assert len(bands.slow_path) == 5
+    assert bands.threshold_us == pytest.approx(24.0)
+
+
+def test_split_requires_samples():
+    with pytest.raises(ValueError):
+        split_fast_slow([])
+
+
+def test_slow_path_fraction():
+    rtts = [10.0] * 90 + [200.0] * 10
+    assert slow_path_fraction(rtts) == pytest.approx(0.1)
+    assert slow_path_fraction([5.0] * 10) == 0.0
+
+
+def test_overhead_vs_baseline():
+    base = [8.0, 8.0, 9.0, 9.0]
+    redplane = [8.0, 8.0, 9.0, 30.0]
+    assert overhead_vs_baseline(redplane, base, p=50) == pytest.approx(0.0)
+    assert overhead_vs_baseline(redplane, base, p=100) == pytest.approx(21.0)

@@ -1,0 +1,120 @@
+"""Tests for the per-flow linearizability checker (Definitions 2-4)."""
+
+import pytest
+
+from repro.model.linearizability import (
+    FlowHistory,
+    check_counter_history,
+    check_linearizable,
+    counter_apply,
+    kv_apply,
+)
+
+
+def make_history(events):
+    """events: list of ('in', tid, t) / ('out', tid, value, t)."""
+    history = FlowHistory()
+    for event in events:
+        if event[0] == "in":
+            _, tid, t = event
+            history.add_input(tid, None, t)
+        else:
+            _, tid, value, t = event
+            history.add_output(tid, value, t)
+    return history
+
+
+def test_sequential_counter_is_linearizable():
+    history = make_history([
+        ("in", 1, 1.0), ("out", 1, 1, 2.0),
+        ("in", 2, 3.0), ("out", 2, 2, 4.0),
+        ("in", 3, 5.0), ("out", 3, 3, 6.0),
+    ])
+    assert check_counter_history(history)
+
+
+def test_reordered_outputs_of_concurrent_inputs_ok():
+    # Inputs overlap in time; outputs 2 then 1 is a legal serialization.
+    history = make_history([
+        ("in", 1, 1.0), ("in", 2, 1.5),
+        ("out", 2, 1, 3.0), ("out", 1, 2, 4.0),
+    ])
+    assert check_counter_history(history)
+
+
+def test_lost_output_allowed():
+    """Anomaly 1 (§4.2): input takes effect, output never seen."""
+    history = make_history([
+        ("in", 1, 1.0),                    # no output: lost after the switch
+        ("in", 2, 2.0), ("out", 2, 2, 3.0),  # sees the effect of input 1
+    ])
+    assert check_counter_history(history)
+
+
+def test_lost_input_allowed():
+    """Anomaly 2 (§4.2): packet lost before the switch, no state effect."""
+    history = make_history([
+        ("in", 1, 1.0),                    # never processed
+        ("in", 2, 2.0), ("out", 2, 1, 3.0),  # does NOT see input 1's effect
+    ])
+    assert check_counter_history(history)
+
+
+def test_duplicate_count_value_not_linearizable():
+    """Two outputs with the same counter value cannot happen."""
+    history = make_history([
+        ("in", 1, 1.0), ("out", 1, 1, 2.0),
+        ("in", 2, 3.0), ("out", 2, 1, 4.0),
+    ])
+    assert not check_counter_history(history)
+
+
+def test_rolled_back_state_not_linearizable():
+    """The Fig 6a anomaly: output shows an older state after a newer one."""
+    history = make_history([
+        ("in", 1, 1.0), ("out", 1, 3, 2.0),   # claims count 3 with 1 input?
+    ])
+    assert not check_counter_history(history)
+
+
+def test_precedence_respected():
+    """Definition 3 condition (2): O_x before I_y forces I_x before I_y."""
+    # Output of 1 (value 2!) precedes input 2; value 2 requires another
+    # input before 1, but the only other input (2) arrived after O_1.
+    history = make_history([
+        ("in", 1, 1.0), ("out", 1, 2, 2.0),
+        ("in", 2, 3.0), ("out", 2, 1, 4.0),
+    ])
+    assert not check_counter_history(history)
+
+
+def test_stale_read_not_linearizable_kv():
+    """A read returning a value older than a completed write is invalid."""
+    history = FlowHistory()
+    history.add_input(1, ("w", 10), 1.0)
+    history.add_output(1, 10, 2.0)
+    history.add_input(2, ("r", None), 3.0)   # after the write completed
+    history.add_output(2, None, 4.0)          # but sees the initial state
+    assert not check_linearizable(history, kv_apply, None)
+
+
+def test_concurrent_read_may_see_either_kv():
+    history = FlowHistory()
+    history.add_input(1, ("w", 10), 1.0)
+    history.add_input(2, ("r", None), 1.5)    # concurrent with the write
+    history.add_output(1, 10, 3.0)
+    history.add_output(2, None, 3.5)           # read serialized before write
+    assert check_linearizable(history, kv_apply, None)
+
+
+def test_empty_history_is_linearizable():
+    assert check_counter_history(FlowHistory())
+
+
+def test_node_budget_guard():
+    history = FlowHistory()
+    for i in range(12):
+        history.add_input(i, None, float(i))
+    # All inputs unmatched: search explores but must respect the budget.
+    with pytest.raises(RuntimeError):
+        check_linearizable(history, counter_apply, 0, max_nodes=10)

@@ -1,0 +1,139 @@
+"""Unit tests for links, ports, and nodes."""
+
+import pytest
+
+from repro.net import constants
+from repro.net.links import Link, Node, SinkNode
+from repro.net.packet import Packet
+from repro.net.simulator import Simulator
+
+
+def make_pair(sim, **link_kwargs):
+    a = SinkNode(sim, "a")
+    b = SinkNode(sim, "b")
+    link = Link(sim, a.new_port(), b.new_port(), **link_kwargs)
+    return a, b, link
+
+
+def test_delivery_and_latency():
+    sim = Simulator()
+    a, b, link = make_pair(sim, latency_us=5.0, bandwidth_gbps=100.0)
+    pkt = Packet.udp(1, 2, 3, 4, payload=b"\x00" * 58)  # 100-byte frame
+    a.ports[0].send(pkt)
+    sim.run_until_idle()
+    assert b.received == [pkt]
+    # 5 us propagation + 100 B * 8 / 100 Gbps = 0.008 us serialization.
+    assert b.receive_times[0] == pytest.approx(5.008)
+
+
+def test_serialization_scales_with_size_and_bandwidth():
+    sim = Simulator()
+    _a, _b, link = make_pair(sim, bandwidth_gbps=10.0)
+    small = Packet.udp(1, 2, 3, 4)
+    big = Packet.udp(1, 2, 3, 4, payload=b"\x00" * 1400)
+    assert link.serialization_delay_us(big) > link.serialization_delay_us(small)
+    assert link.serialization_delay_us(big) == pytest.approx(
+        big.byte_size() * 8 / 10_000
+    )
+
+
+def test_loss_rate_drops_packets():
+    sim = Simulator(seed=1)
+    a, b, link = make_pair(sim, loss_rate=0.5)
+    for _ in range(400):
+        a.ports[0].send(Packet.udp(1, 2, 3, 4))
+    sim.run_until_idle()
+    assert 100 < len(b.received) < 300
+    assert sim.counters["link.drops.loss"] == 400 - len(b.received)
+
+
+def test_zero_loss_delivers_everything():
+    sim = Simulator()
+    a, b, _link = make_pair(sim)
+    for _ in range(50):
+        a.ports[0].send(Packet.udp(1, 2, 3, 4))
+    sim.run_until_idle()
+    assert len(b.received) == 50
+
+
+def test_reordering_delays_some_packets():
+    sim = Simulator(seed=3)
+    a, b, _link = make_pair(sim, reorder_rate=0.3)
+    for i in range(200):
+        pkt = Packet.udp(1, 2, 3, 4)
+        pkt.meta["i"] = i
+        a.ports[0].send(pkt)
+    sim.run_until_idle()
+    order = [pkt.meta["i"] for pkt in b.received]
+    assert order != sorted(order)
+    assert sorted(order) == list(range(200))
+
+
+def test_down_link_drops():
+    sim = Simulator()
+    a, b, link = make_pair(sim)
+    link.fail()
+    a.ports[0].send(Packet.udp(1, 2, 3, 4))
+    sim.run_until_idle()
+    assert b.received == []
+    link.recover()
+    a.ports[0].send(Packet.udp(1, 2, 3, 4))
+    sim.run_until_idle()
+    assert len(b.received) == 1
+
+
+def test_in_flight_packets_lost_when_link_fails():
+    sim = Simulator()
+    a, b, link = make_pair(sim, latency_us=10.0)
+    a.ports[0].send(Packet.udp(1, 2, 3, 4))
+    sim.schedule(1.0, link.fail)
+    sim.run_until_idle()
+    assert b.received == []
+
+
+def test_failed_node_drops_deliveries():
+    sim = Simulator()
+    a, b, _link = make_pair(sim)
+    b.fail()
+    a.ports[0].send(Packet.udp(1, 2, 3, 4))
+    sim.run_until_idle()
+    assert b.received == []
+    assert sim.counters["link.drops.node_failed"] == 1
+
+
+def test_tx_counters_and_taps():
+    sim = Simulator()
+    a, b, link = make_pair(sim)
+    tapped = []
+    link.taps.append(lambda pkt, port: tapped.append(pkt.byte_size()))
+    pkt = Packet.udp(1, 2, 3, 4, payload=b"\x00" * 100)
+    a.ports[0].send(pkt)
+    sim.run_until_idle()
+    assert link.total_tx_bytes() == pkt.byte_size()
+    assert tapped == [pkt.byte_size()]
+
+
+def test_port_cannot_have_two_links():
+    sim = Simulator()
+    a = SinkNode(sim, "a")
+    b = SinkNode(sim, "b")
+    c = SinkNode(sim, "c")
+    port = a.new_port()
+    Link(sim, port, b.new_port())
+    with pytest.raises(RuntimeError):
+        Link(sim, port, c.new_port())
+
+
+def test_unattached_port_send_raises():
+    sim = Simulator()
+    a = SinkNode(sim, "a")
+    port = a.new_port()
+    with pytest.raises(RuntimeError):
+        port.send(Packet.udp(1, 2, 3, 4))
+
+
+def test_base_node_receive_not_implemented():
+    sim = Simulator()
+    node = Node(sim, "n")
+    with pytest.raises(NotImplementedError):
+        node.receive(Packet.udp(1, 2, 3, 4), None)

@@ -1,0 +1,100 @@
+"""Tests for multi-output piggybacking (Definition 1's 0..n outputs)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Simulator, deploy
+from repro.core.app import AppVerdict, InSwitchApp
+from repro.core.flowstate import StateSpec
+from repro.core.protocol import pack_packets, unpack_packets
+from repro.net.packet import Packet
+
+
+@given(st.lists(st.binary(min_size=0, max_size=120), max_size=6))
+def test_pack_unpack_roundtrip(packets):
+    assert unpack_packets(pack_packets(packets)) == packets
+
+
+def test_pack_limits():
+    with pytest.raises(ValueError):
+        pack_packets([b""] * 256)
+    with pytest.raises(ValueError):
+        pack_packets([b"\x00" * 70000])
+    with pytest.raises(ValueError):
+        unpack_packets(b"")
+    with pytest.raises(ValueError):
+        unpack_packets(bytes([1]) + b"\x00\x05ab")  # truncated frame
+
+
+class MirrorOnWriteApp(InSwitchApp):
+    """On every packet: update state, forward the packet, AND emit a copy
+    to a collector address — two outputs per input, both derived from the
+    state transition, so both must wait for durability."""
+
+    name = "mirror-on-write"
+    state_spec = StateSpec.of(("count", 0))
+
+    COLLECTOR_IP = 0x0A00020C  # 10.0.2.12 (s22)
+
+    def process(self, state, pkt, ctx, switch):
+        state.increment("count")
+        copy = pkt.copy()
+        copy.ip.dst = self.COLLECTOR_IP
+        ctx.emit(copy)
+        return AppVerdict.FORWARD
+
+
+def test_emitted_outputs_withheld_until_ack():
+    sim = Simulator(seed=3)
+    dep = deploy(sim, MirrorOnWriteApp)
+    e1, s11 = dep.bed.externals[0], dep.bed.servers[0]
+    collector = dep.bed.host_by_ip(MirrorOnWriteApp.COLLECTOR_IP)
+    primary_times, mirror_times = [], []
+    s11.default_handler = lambda pkt: primary_times.append(sim.now)
+    collector.default_handler = lambda pkt: mirror_times.append(sim.now)
+
+    for i in range(4):
+        sim.schedule(i * 200.0, e1.send,
+                     Packet.udp(e1.ip, s11.ip, 5555, 7777))
+    sim.run_until_idle()
+
+    # Both outputs of every input were delivered...
+    assert len(primary_times) == 4
+    assert len(mirror_times) == 4
+    # ...and neither escaped before the replication round trip (> 15 us
+    # one-way; the plain forwarding path would be ~4 us).
+    first_in = 0.0
+    assert min(primary_times) - first_in > 15.0
+    assert min(mirror_times) - first_in > 15.0
+    # The store saw every update exactly once per input.
+    key = Packet.udp(e1.ip, s11.ip, 5555, 7777).flow_key().canonical()
+    assert dep.stores[0].records[key].vals == [4]
+
+
+def test_drop_verdict_with_emissions_still_replicates():
+    """An app that consumes the input but emits a response (SYN-proxy
+    style): the emission is the only output and still gates on the ack."""
+
+    class RespondAndDrop(InSwitchApp):
+        name = "respond-drop"
+        state_spec = StateSpec.of(("seen", 0))
+
+        def process(self, state, pkt, ctx, switch):
+            state.increment("seen")
+            reply = Packet.udp(pkt.ip.dst, pkt.ip.src, 7777, 5555,
+                               payload=b"resp")
+            reply.ip.identification = pkt.ip.identification
+            ctx.emit(reply)
+            return AppVerdict.DROP
+
+    sim = Simulator(seed=4)
+    dep = deploy(sim, RespondAndDrop)
+    e1, s11 = dep.bed.externals[0], dep.bed.servers[0]
+    replies, arrivals = [], []
+    e1.default_handler = lambda pkt: replies.append(sim.now)
+    s11.default_handler = lambda pkt: arrivals.append(sim.now)
+    e1.send(Packet.udp(e1.ip, s11.ip, 5555, 7777))
+    sim.run_until_idle()
+    assert arrivals == []          # the input was consumed
+    assert len(replies) == 1       # the response came back
+    assert replies[0] > 15.0       # only after the update was durable

@@ -1,0 +1,47 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plotting import ascii_cdf, ascii_series, ascii_timeline
+
+
+def test_cdf_renders_markers_and_legend():
+    plot = ascii_cdf({"fast": [1, 2, 3], "slow": [10, 20, 30]})
+    assert "*=fast" in plot and "o=slow" in plot
+    assert "1.00 |" in plot
+    assert "*" in plot and "o" in plot
+
+
+def test_cdf_log_scale():
+    plot = ascii_cdf({"x": [1, 10, 100, 1000]}, log_x=True)
+    assert "log10" in plot
+
+
+def test_cdf_requires_series():
+    with pytest.raises(ValueError):
+        ascii_cdf({})
+
+
+def test_series_plot_contains_extents():
+    plot = ascii_series({"a": [(0, 0), (1, 10)], "b": [(0, 10), (1, 0)]},
+                        x_label="ratio", y_label="Mpps")
+    assert "ratio: 0 .. 1" in plot
+    assert "*=a" in plot and "o=b" in plot
+
+
+def test_series_requires_data():
+    with pytest.raises(ValueError):
+        ascii_series({})
+
+
+def test_timeline_bars_scale_and_mark_events():
+    points = [(0.0, 1.0), (0.1, 0.0), (0.2, 0.5)]
+    out = ascii_timeline(points, events={0.1: "failure"})
+    lines = out.splitlines()
+    assert "failure" in out
+    assert lines[0].count("#") > lines[2].count("#") > lines[1].count("#")
+
+
+def test_timeline_requires_points():
+    with pytest.raises(ValueError):
+        ascii_timeline([])

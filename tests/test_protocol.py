@@ -1,0 +1,113 @@
+"""Tests for the RedPlane wire format (Fig 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.protocol import (
+    MessageType,
+    RedPlaneMessage,
+    STORE_UDP_PORT,
+    SWITCH_UDP_PORT,
+    make_protocol_packet,
+    parse_protocol_packet,
+)
+from repro.net.packet import FlowKey, Packet
+
+
+KEY = FlowKey(0x0A000101, 0xAC100101, 17, 1234, 5678)
+
+
+def test_roundtrip_basic():
+    msg = RedPlaneMessage(seq=7, msg_type=MessageType.REPL_WRITE_REQ,
+                          flow_key=KEY, vals=[1, 2, 3])
+    back = RedPlaneMessage.unpack(msg.pack())
+    assert back == msg
+
+
+def test_roundtrip_with_piggyback():
+    inner = Packet.udp(1, 2, 3, 4, payload=b"inner").to_bytes()
+    msg = RedPlaneMessage(seq=1, msg_type=MessageType.LEASE_NEW_REQ,
+                          flow_key=KEY, piggyback=inner)
+    back = RedPlaneMessage.unpack(msg.pack())
+    assert back.piggyback == inner
+    restored = Packet.from_bytes(back.piggyback)
+    assert restored.payload == b"inner"
+
+
+def test_no_piggyback_distinct_from_empty():
+    with_empty = RedPlaneMessage(1, MessageType.LEASE_NEW_REQ, KEY, piggyback=b"")
+    without = RedPlaneMessage(1, MessageType.LEASE_NEW_REQ, KEY, piggyback=None)
+    assert RedPlaneMessage.unpack(with_empty.pack()).piggyback == b""
+    assert RedPlaneMessage.unpack(without.pack()).piggyback is None
+
+
+def test_aux_field_roundtrip():
+    msg = RedPlaneMessage(3, MessageType.SNAPSHOT_REPL_REQ, KEY, vals=[9],
+                          aux=63)
+    assert RedPlaneMessage.unpack(msg.pack()).aux == 63
+
+
+def test_request_ack_pairing():
+    for req in (MessageType.LEASE_NEW_REQ, MessageType.REPL_WRITE_REQ,
+                MessageType.LEASE_RENEW_REQ, MessageType.READ_BUFFER_REQ,
+                MessageType.SNAPSHOT_REPL_REQ):
+        ack = req.ack_type()
+        assert not ack.is_request()
+        assert ack - req == 16
+    with pytest.raises(ValueError):
+        MessageType.REPL_WRITE_ACK.ack_type()
+
+
+def test_too_many_vals_rejected():
+    msg = RedPlaneMessage(1, MessageType.REPL_WRITE_REQ, KEY, vals=[0] * 256)
+    with pytest.raises(ValueError):
+        msg.pack()
+
+
+def test_truncated_input_rejected():
+    msg = RedPlaneMessage(1, MessageType.REPL_WRITE_REQ, KEY, vals=[5])
+    raw = msg.pack()
+    with pytest.raises(ValueError):
+        RedPlaneMessage.unpack(raw[:8])
+
+
+def test_truncated_piggyback_rejected():
+    msg = RedPlaneMessage(1, MessageType.LEASE_NEW_REQ, KEY, piggyback=b"abcdef")
+    raw = msg.pack()
+    with pytest.raises(ValueError):
+        RedPlaneMessage.unpack(raw[:-3])
+
+
+def test_header_size_excludes_piggyback_content():
+    bare = RedPlaneMessage(1, MessageType.REPL_WRITE_REQ, KEY, vals=[1])
+    loaded = RedPlaneMessage(1, MessageType.REPL_WRITE_REQ, KEY, vals=[1],
+                             piggyback=b"\x00" * 500)
+    assert loaded.header_size() == bare.header_size() + 2  # length prefix only
+    assert len(loaded.pack()) == loaded.header_size() + 500
+
+
+def test_make_protocol_packet_tags_and_addresses():
+    msg = RedPlaneMessage(1, MessageType.REPL_WRITE_REQ, KEY, vals=[1])
+    pkt = make_protocol_packet(0x0A0000FE, 0x0A0001C8, msg)
+    assert pkt.meta["rp_kind"] == "request"
+    assert pkt.l4.dport == STORE_UDP_PORT
+    assert pkt.l4.sport == SWITCH_UDP_PORT
+    assert parse_protocol_packet(pkt) == msg
+
+    ack = RedPlaneMessage(1, MessageType.REPL_WRITE_ACK, KEY)
+    reply = make_protocol_packet(1, 2, ack, sport=STORE_UDP_PORT,
+                                 dport=SWITCH_UDP_PORT)
+    assert reply.meta["rp_kind"] == "response"
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.sampled_from(list(MessageType)),
+    st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=8),
+    st.one_of(st.none(), st.binary(max_size=200)),
+    st.integers(min_value=0, max_value=0xFFFF),
+)
+def test_roundtrip_property(seq, msg_type, vals, piggyback, aux):
+    msg = RedPlaneMessage(seq=seq, msg_type=msg_type, flow_key=KEY,
+                          vals=vals, piggyback=piggyback, aux=aux)
+    assert RedPlaneMessage.unpack(msg.pack()) == msg

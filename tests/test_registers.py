@@ -1,0 +1,117 @@
+"""Tests for register arrays and the one-access-per-packet constraint."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.switch.pipeline import PipelineContext, RegisterAccessError
+from repro.switch.registers import PairedRegisterArray, RegisterArray
+from repro.net.packet import Packet
+
+
+def ctx():
+    return PipelineContext(pkt=Packet(), now=0.0)
+
+
+def test_read_write_basic():
+    reg = RegisterArray("r", 8)
+    c = ctx()
+    assert reg.read(c, 3) == 0
+    c2 = ctx()
+    assert reg.write(c2, 3, 42) == 42
+    assert reg.cp_read(3) == 42
+
+
+def test_rmw_returns_alu_result():
+    reg = RegisterArray("r", 4)
+    c = ctx()
+    result = reg.access(c, 0, lambda old: (old + 5, old))
+    assert result == 0
+    assert reg.cp_read(0) == 5
+
+
+def test_double_access_same_packet_rejected():
+    reg = RegisterArray("r", 4)
+    c = ctx()
+    reg.read(c, 0)
+    with pytest.raises(RegisterAccessError):
+        reg.read(c, 1)
+
+
+def test_two_arrays_one_packet_allowed():
+    a = RegisterArray("a", 4)
+    b = RegisterArray("b", 4)
+    c = ctx()
+    a.read(c, 0)
+    b.read(c, 0)  # no error: different arrays
+
+
+def test_new_packet_resets_budget():
+    reg = RegisterArray("r", 4)
+    reg.read(ctx(), 0)
+    reg.read(ctx(), 0)
+
+
+def test_width_masking():
+    reg = RegisterArray("r", 2, width_bits=8)
+    reg.cp_write(0, 0x1FF)
+    assert reg.cp_read(0) == 0xFF
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ValueError):
+        RegisterArray("r", 4, width_bits=12)
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        RegisterArray("r", 0)
+
+
+def test_index_bounds():
+    reg = RegisterArray("r", 4)
+    with pytest.raises(IndexError):
+        reg.cp_read(4)
+    with pytest.raises(IndexError):
+        reg.read(ctx(), -1)
+
+
+def test_cp_dump():
+    reg = RegisterArray("r", 3, initial=7)
+    assert reg.cp_dump() == [7, 7, 7]
+
+
+def test_sram_accounting():
+    assert RegisterArray("r", 1024, width_bits=32).sram_bits() == 1024 * 32
+    assert PairedRegisterArray("p", 64, width_bits=32).sram_bits() == 64 * 64
+
+
+def test_paired_rmw():
+    pair = PairedRegisterArray("p", 4)
+    c = ctx()
+    result = pair.access(c, 1, lambda lo, hi: (lo + 1, hi + 2, lo + hi))
+    assert result == 0
+    assert pair.cp_read(1) == (1, 2)
+
+
+def test_paired_double_access_rejected():
+    pair = PairedRegisterArray("p", 4)
+    c = ctx()
+    pair.access(c, 0, lambda lo, hi: (lo, hi, 0))
+    with pytest.raises(RegisterAccessError):
+        pair.access(c, 1, lambda lo, hi: (lo, hi, 0))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1,
+                max_size=50))
+def test_register_stores_arbitrary_u32_sequence(values):
+    reg = RegisterArray("r", len(values))
+    for i, value in enumerate(values):
+        reg.write(ctx(), i, value)
+    assert reg.cp_dump() == values
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_width_mask_property(value):
+    reg = RegisterArray("r", 1, width_bits=32)
+    reg.write(ctx(), 0, value)
+    assert reg.cp_read(0) == value & 0xFFFFFFFF

@@ -1,0 +1,81 @@
+"""Tests for ASIC resource accounting — the Table 2 reproduction."""
+
+import pytest
+
+from repro import Simulator, deploy
+from repro.apps.counter import SyncCounterApp
+from repro.core.engine import RedPlaneConfig, RedPlaneEngine
+from repro.switch.resources import CAPACITY, ResourceModel, TABLE2_ROWS
+
+#: Table 2 of the paper: additional ASIC resources used by RedPlane for
+#: 100 k concurrent flows.
+PAPER_TABLE2 = {
+    "Match Crossbar": 5.3,
+    "Meter ALU": 8.3,
+    "Gateway": 9.9,
+    "SRAM": 13.2,
+    "TCAM": 11.8,
+    "VLIW Instruction": 5.5,
+    "Hash Bits": 3.7,
+}
+
+
+def test_register_and_percentages():
+    model = ResourceModel()
+    model.register({"sram_bits": CAPACITY["sram_bits"] / 2})
+    assert model.percentage("sram_bits") == pytest.approx(50.0)
+    assert model.percentage("tcam_bits") == 0.0
+
+
+def test_unknown_resource_rejected():
+    model = ResourceModel()
+    with pytest.raises(KeyError):
+        model.register({"quantum_bits": 1})
+    with pytest.raises(ValueError):
+        model.register({"sram_bits": -1})
+
+
+def test_over_capacity_detection():
+    model = ResourceModel()
+    model.register({"meter_alus": CAPACITY["meter_alus"] + 1})
+    assert list(model.over_capacity()) == ["meter_alus"]
+
+
+def test_engine_inventory_reproduces_table2():
+    """The headline check: RedPlane's additional usage at 100 k flows
+    lands on the paper's Table 2 percentages."""
+    sim = Simulator()
+    dep = deploy(sim, SyncCounterApp,
+                 config=RedPlaneConfig(max_flows=100_000))
+    engine = dep.engines["agg1"]
+    model = ResourceModel()
+    model.register(engine.resource_usage())
+    table = model.table2()
+    for label, paper_pct in PAPER_TABLE2.items():
+        assert table[label] == pytest.approx(paper_pct, abs=0.5), label
+
+
+def test_sram_scales_with_flow_count():
+    """§7.4: 'Scaling up concurrent flows would increase only SRAM usage'."""
+    sim = Simulator()
+    small = deploy(sim, SyncCounterApp,
+                   config=RedPlaneConfig(max_flows=10_000)).engines["agg1"]
+    sim2 = Simulator()
+    large = deploy(sim2, SyncCounterApp,
+                   config=RedPlaneConfig(max_flows=100_000)).engines["agg1"]
+    su, lu = small.resource_usage(), large.resource_usage()
+    assert lu["sram_bits"] > su["sram_bits"]
+    for key in ("tcam_bits", "meter_alus", "gateways", "vliw_instructions",
+                "match_crossbar_bits", "hash_bits"):
+        assert lu[key] == su[key], key
+
+
+def test_redplane_plus_app_fit_on_chip():
+    sim = Simulator()
+    dep = deploy(sim, SyncCounterApp,
+                 config=RedPlaneConfig(max_flows=100_000))
+    assert list(dep.engines["agg1"].switch.resources.over_capacity()) == []
+
+
+def test_table2_rows_complete():
+    assert [label for _k, label in TABLE2_ROWS] == list(PAPER_TABLE2)

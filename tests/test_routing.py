@@ -1,0 +1,139 @@
+"""Unit tests for LPM routing and ECMP next-hop selection."""
+
+import pytest
+
+from repro.net.links import Link, SinkNode
+from repro.net.packet import FlowKey, Packet, ip_aton
+from repro.net.routing import L3Switch, RoutingTable, Route, ecmp_hash
+from repro.net.simulator import Simulator
+
+
+def test_lpm_prefers_longest_prefix():
+    sim = Simulator()
+    sw = L3Switch(sim, "sw")
+    sink_wide = SinkNode(sim, "wide")
+    sink_narrow = SinkNode(sim, "narrow")
+    wide = Link(sim, sw.new_port(), sink_wide.new_port())
+    narrow = Link(sim, sw.new_port(), sink_narrow.new_port())
+    sw.table.add(ip_aton("10.0.0.0"), 8, [sw.ports[0]])
+    sw.table.add(ip_aton("10.0.1.0"), 24, [sw.ports[1]])
+
+    route = sw.table.lookup(ip_aton("10.0.1.5"))
+    assert route.mask_len == 24
+    route = sw.table.lookup(ip_aton("10.9.9.9"))
+    assert route.mask_len == 8
+
+
+def test_default_route_matches_everything():
+    table = RoutingTable()
+    sim = Simulator()
+    sink = SinkNode(sim, "s")
+    port = sink.new_port()
+    table.add(0, 0, [port])
+    assert table.lookup(ip_aton("203.0.113.9")).ports == [port]
+
+
+def test_route_requires_ports():
+    table = RoutingTable()
+    with pytest.raises(ValueError):
+        table.add(0, 0, [])
+
+
+def test_ecmp_hash_symmetric_in_ports():
+    forward = FlowKey(1, 2, 6, 1000, 80)
+    reverse = FlowKey(2, 1, 6, 80, 1000)
+    assert ecmp_hash(forward) == ecmp_hash(reverse)
+
+
+def test_ecmp_hash_ignores_rewritten_addresses():
+    # NAT rewrites IPs asymmetrically; the hash must not change.
+    pre = FlowKey(ip_aton("10.0.1.11"), ip_aton("172.16.0.11"), 6, 7000, 80)
+    post = FlowKey(ip_aton("192.0.2.1"), ip_aton("172.16.0.11"), 6, 7000, 80)
+    assert ecmp_hash(pre) == ecmp_hash(post)
+
+
+def test_ecmp_spreads_flows():
+    keys = [FlowKey(1, 2, 17, 10000 + i, 80) for i in range(512)]
+    buckets = [ecmp_hash(k) % 2 for k in keys]
+    ones = sum(buckets)
+    assert 150 < ones < 362  # roughly balanced across two next hops
+
+
+def test_forwarding_decrements_ttl_and_drops_at_zero():
+    sim = Simulator()
+    sw = L3Switch(sim, "sw")
+    sink = SinkNode(sim, "sink")
+    Link(sim, sw.new_port(), sink.new_port())
+    sw.table.add(0, 0, [sw.ports[0]])
+
+    pkt = Packet.udp(1, 2, 3, 4)
+    pkt.ip.ttl = 2
+    sw.forward(pkt)
+    sim.run_until_idle()
+    assert len(sink.received) == 1
+    assert sink.received[0].ip.ttl == 1
+
+    expired = Packet.udp(1, 2, 3, 4)
+    expired.ip.ttl = 1
+    sw.forward(expired)
+    sim.run_until_idle()
+    assert len(sink.received) == 1
+    assert sw.dropped_ttl == 1
+
+
+def test_no_route_drops():
+    sim = Simulator()
+    sw = L3Switch(sim, "sw")
+    pkt = Packet.udp(ip_aton("9.9.9.9"), ip_aton("8.8.8.8"), 1, 2)
+    sw.forward(pkt)
+    sim.run_until_idle()
+    assert sw.dropped_no_route == 1
+
+
+def test_belief_excludes_down_next_hops():
+    sim = Simulator()
+    sw = L3Switch(sim, "sw")
+    sink_a = SinkNode(sim, "a")
+    sink_b = SinkNode(sim, "b")
+    Link(sim, sw.new_port(), sink_a.new_port())
+    Link(sim, sw.new_port(), sink_b.new_port())
+    sw.table.add(0, 0, [sw.ports[0], sw.ports[1]])
+
+    sw.set_port_belief(sw.ports[0], False)
+    for i in range(20):
+        sw.forward(Packet.udp(1, 2, 100 + i, 4))
+    sim.run_until_idle()
+    assert len(sink_a.received) == 0
+    assert len(sink_b.received) == 20
+
+    sw.set_port_belief(sw.ports[0], True)
+    sw.set_port_belief(sw.ports[1], False)
+    for i in range(20):
+        sw.forward(Packet.udp(1, 2, 100 + i, 4))
+    sim.run_until_idle()
+    assert len(sink_a.received) == 20
+
+
+def test_all_next_hops_down_counts_drop():
+    sim = Simulator()
+    sw = L3Switch(sim, "sw")
+    sink = SinkNode(sim, "a")
+    Link(sim, sw.new_port(), sink.new_port())
+    sw.table.add(0, 0, [sw.ports[0]])
+    sw.set_port_belief(sw.ports[0], False)
+    sw.forward(Packet.udp(1, 2, 3, 4))
+    sim.run_until_idle()
+    assert sw.dropped_no_next_hop == 1
+
+
+def test_select_port_is_deterministic_per_flow():
+    sim = Simulator()
+    sw = L3Switch(sim, "sw")
+    a, b = SinkNode(sim, "a"), SinkNode(sim, "b")
+    Link(sim, sw.new_port(), a.new_port())
+    Link(sim, sw.new_port(), b.new_port())
+    sw.table.add(0, 0, [sw.ports[0], sw.ports[1]])
+    pkt = Packet.udp(1, 2, 33, 44)
+    first = sw.select_port(pkt)
+    for _ in range(10):
+        assert sw.select_port(pkt) is first

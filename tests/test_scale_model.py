@@ -1,0 +1,67 @@
+"""Tests for the at-scale bandwidth model (§7.2)."""
+
+import pytest
+
+from repro.analysis.scale import (
+    BandwidthBreakdown,
+    TrafficProfile,
+    overhead_at_scale,
+    paper_profiles,
+    per_switch_bandwidth,
+    scale_sweep,
+)
+
+
+def test_read_centric_share_is_tiny():
+    profiles = paper_profiles()
+    for name in ("nat", "firewall", "load-balancer"):
+        share = per_switch_bandwidth(profiles[name]).protocol_share
+        assert share < 0.01, name
+
+
+def test_sync_counter_share_matches_fig10_regime():
+    share = per_switch_bandwidth(paper_profiles()["sync-counter"]).protocol_share
+    assert 0.35 < share < 0.60
+
+
+def test_epc_share_in_between():
+    share = per_switch_bandwidth(paper_profiles()["epc-sgw"]).protocol_share
+    nat = per_switch_bandwidth(paper_profiles()["nat"]).protocol_share
+    sync = per_switch_bandwidth(paper_profiles()["sync-counter"]).protocol_share
+    assert nat < share < sync
+
+
+def test_hh_snapshot_share_negligible_and_rate_independent():
+    profiles = paper_profiles()
+    share_full = per_switch_bandwidth(profiles["hh-detector"]).protocol_share
+    assert share_full < 0.01
+    # Halving the traffic doubles the share (fixed snapshot stream).
+    slower = TrafficProfile("hh", profiles["hh-detector"].packet_rate_pps / 2,
+                            64, snapshot_bytes_per_s=3 * 64 * 26 * 1000.0)
+    assert per_switch_bandwidth(slower).protocol_share > share_full
+
+
+def test_share_is_scale_invariant():
+    """The paper's §7.2 claim: more switches, same percentage overhead."""
+    for name, profile in paper_profiles().items():
+        sweep = scale_sweep(profile, [1, 2, 8, 64])
+        values = list(sweep.values())
+        for v in values[1:]:
+            assert v == pytest.approx(values[0], rel=1e-9), name
+
+
+def test_aggregate_scales_linearly():
+    profile = paper_profiles()["sync-counter"]
+    one = overhead_at_scale(profile, 1)
+    eight = overhead_at_scale(profile, 8)
+    assert eight.original_bps == pytest.approx(8 * one.original_bps)
+    assert eight.request_bps == pytest.approx(8 * one.request_bps)
+
+
+def test_invalid_cluster_size_rejected():
+    with pytest.raises(ValueError):
+        overhead_at_scale(paper_profiles()["nat"], 0)
+
+
+def test_breakdown_share_of_zero_traffic():
+    assert BandwidthBreakdown(0, 0, 0).protocol_share == 0.0

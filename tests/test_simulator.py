@@ -1,0 +1,124 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30, fired.append, "c")
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(20, fired.append, "b")
+    sim.run_until_idle()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(5, fired.append, label)
+    sim.run_until_idle()
+    assert fired == list("abcde")
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(100, lambda: seen.append(sim.now))
+    sim.run_until_idle()
+    assert seen == [100]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run_until_idle()
+    with pytest.raises(ValueError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, fired.append, "x")
+    sim.schedule(5, event.cancel)
+    sim.run_until_idle()
+    assert fired == []
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "early")
+    sim.schedule(100, fired.append, "late")
+    sim.run(until=50)
+    assert fired == ["early"]
+    assert sim.now == 50
+    sim.run_until_idle()
+    assert fired == ["early", "late"]
+
+
+def test_nested_scheduling_from_callbacks():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now))
+        sim.schedule(5, inner)
+
+    def inner():
+        fired.append(("inner", sim.now))
+
+    sim.schedule(10, outer)
+    sim.run_until_idle()
+    assert fired == [("outer", 10), ("inner", 15)]
+
+
+def test_determinism_same_seed():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        values = []
+        for _ in range(50):
+            sim.schedule(sim.rng.random() * 10, values.append, sim.rng.random())
+        sim.run_until_idle()
+        return values
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_counters():
+    sim = Simulator()
+    sim.count("drops")
+    sim.count("drops", 2)
+    assert sim.counters["drops"] == 3
+
+
+def test_run_until_idle_guards_against_storms():
+    sim = Simulator()
+
+    def storm():
+        sim.schedule(1, storm)
+
+    sim.schedule(1, storm)
+    with pytest.raises(RuntimeError):
+        sim.run_until_idle(max_events=1000)
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(i, fired.append, i)
+    sim.run(max_events=4)
+    assert len(fired) == 4

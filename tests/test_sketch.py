@@ -1,0 +1,95 @@
+"""Tests for the reference sketch structures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sketch import BloomFilter, CountMinSketch, sketch_hash
+
+
+def test_count_min_never_underestimates():
+    sketch = CountMinSketch(depth=3, width=16)
+    truth = {}
+    for i in range(200):
+        item = bytes([i % 40])
+        sketch.add(item)
+        truth[item] = truth.get(item, 0) + 1
+    for item, count in truth.items():
+        assert sketch.estimate(item) >= count
+
+
+def test_count_min_exact_when_sparse():
+    sketch = CountMinSketch(depth=3, width=64)
+    sketch.add(b"a", 5)
+    assert sketch.estimate(b"a") == 5
+    assert sketch.total == 5
+
+
+def test_count_min_merge():
+    a = CountMinSketch(3, 32)
+    b = CountMinSketch(3, 32)
+    a.add(b"x", 2)
+    b.add(b"x", 3)
+    a.merge(b)
+    assert a.estimate(b"x") == 5
+    with pytest.raises(ValueError):
+        a.merge(CountMinSketch(2, 32))
+
+
+def test_count_min_clear():
+    sketch = CountMinSketch(2, 8)
+    sketch.add(b"x")
+    sketch.clear()
+    assert sketch.estimate(b"x") == 0
+    assert sketch.total == 0
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ValueError):
+        CountMinSketch(0, 8)
+    with pytest.raises(ValueError):
+        BloomFilter(bits=0)
+
+
+@given(st.lists(st.binary(min_size=1, max_size=8), max_size=100))
+def test_count_min_overestimate_property(items):
+    sketch = CountMinSketch(depth=3, width=32)
+    truth = {}
+    for item in items:
+        sketch.add(item)
+        truth[item] = truth.get(item, 0) + 1
+    for item, count in truth.items():
+        assert sketch.estimate(item) >= count
+
+
+def test_bloom_membership_no_false_negatives():
+    bloom = BloomFilter(bits=256, hashes=3)
+    members = [bytes([i]) for i in range(30)]
+    for item in members:
+        bloom.add(item)
+    assert all(item in bloom for item in members)
+
+
+def test_bloom_bits_roundtrip():
+    bloom = BloomFilter(bits=64, hashes=2)
+    bloom.add(b"k")
+    bits = bloom.bit_values()
+    other = BloomFilter(bits=64, hashes=2)
+    other.load_bits(bits)
+    assert b"k" in other
+    assert other.fill_ratio() == bloom.fill_ratio()
+    with pytest.raises(ValueError):
+        other.load_bits([0])
+
+
+def test_sketch_hash_row_independence():
+    hits = sum(
+        sketch_hash(bytes([i]), 0, 64) == sketch_hash(bytes([i]), 1, 64)
+        for i in range(200)
+    )
+    assert hits < 20  # rows behave as distinct hash functions
+
+
+def test_sketch_hash_range():
+    for row in range(4):
+        for i in range(50):
+            assert 0 <= sketch_hash(bytes([i]), row, 13) < 13

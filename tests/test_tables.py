@@ -1,0 +1,93 @@
+"""Tests for match-action tables."""
+
+import pytest
+
+from repro.switch.tables import ActionEntry, MatchKind, MatchTable
+
+
+def entry(name="act", **data):
+    return ActionEntry(action=name, data=data)
+
+
+def test_exact_match_hit_and_miss():
+    table = MatchTable("t", MatchKind.EXACT)
+    table.install(("a", 1), entry(out=2))
+    assert table.lookup(("a", 1)).data["out"] == 2
+    assert table.lookup(("b", 1)) is None
+    assert table.hits == 1 and table.misses == 1
+
+
+def test_exact_remove():
+    table = MatchTable("t", MatchKind.EXACT)
+    table.install("k", entry())
+    table.remove("k")
+    assert table.lookup("k") is None
+    table.remove("k")  # idempotent
+
+
+def test_capacity_enforced():
+    table = MatchTable("t", MatchKind.EXACT, max_entries=2)
+    table.install(1, entry())
+    table.install(2, entry())
+    with pytest.raises(RuntimeError):
+        table.install(3, entry())
+    table.install(1, entry("replacement"))  # overwrite allowed
+
+
+def test_lpm_longest_wins():
+    table = MatchTable("t", MatchKind.LPM)
+    table.install_lpm(0x0A000000, 8, entry("wide"))
+    table.install_lpm(0x0A000100, 24, entry("narrow"))
+    assert table.lookup(0x0A000105).action == "narrow"
+    assert table.lookup(0x0A990000).action == "wide"
+    assert table.lookup(0x0B000000) is None
+
+
+def test_ternary_priority():
+    table = MatchTable("t", MatchKind.TERNARY)
+    table.install_ternary(0x10, 0xF0, entry("low"), priority=1)
+    table.install_ternary(0x12, 0xFF, entry("high"), priority=9)
+    assert table.lookup(0x12).action == "high"
+    assert table.lookup(0x15).action == "low"
+    assert table.lookup(0x25) is None
+
+
+def test_range_match():
+    table = MatchTable("t", MatchKind.RANGE)
+    table.install_range(10, 20, entry("mid"))
+    table.install_range(0, 100, entry("all"), priority=-1)
+    assert table.lookup(15).action == "mid"
+    assert table.lookup(50).action == "all"
+    assert table.lookup(200) is None
+
+
+def test_range_rejects_empty():
+    table = MatchTable("t", MatchKind.RANGE)
+    with pytest.raises(ValueError):
+        table.install_range(5, 1, entry())
+
+
+def test_kind_mismatch_rejected():
+    table = MatchTable("t", MatchKind.EXACT)
+    with pytest.raises(TypeError):
+        table.install_lpm(0, 8, entry())
+    with pytest.raises(TypeError):
+        MatchTable("t2", MatchKind.RANGE).install("k", entry())
+
+
+def test_resource_accounting_by_kind():
+    exact = MatchTable("e", MatchKind.EXACT, key_width_bits=104,
+                       entry_data_bits=24, max_entries=1000)
+    assert exact.sram_bits() == 1000 * 128
+    assert exact.tcam_bits() == 0
+    rng = MatchTable("r", MatchKind.RANGE, key_width_bits=32,
+                     entry_data_bits=32, max_entries=100)
+    assert rng.tcam_bits() == 100 * 96
+    assert rng.sram_bits() == 0
+
+
+def test_clear():
+    table = MatchTable("t", MatchKind.EXACT)
+    table.install(1, entry())
+    table.clear()
+    assert table.entry_count() == 0

@@ -1,0 +1,33 @@
+"""Tests for the experiment-runner CLI."""
+
+import pytest
+
+from repro.tools import EXPERIMENTS, main
+from repro.tools.runner import benchmarks_dir
+
+
+def test_inventory_covers_every_figure_and_table():
+    for key in ("fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+                "fig15", "table1", "table2", "appc"):
+        assert key in EXPERIMENTS
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig8" in out and "table2" in out
+
+
+def test_unknown_experiment_rejected():
+    from repro.tools.runner import run_experiment
+
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+
+
+def test_benchmark_files_exist():
+    import os
+
+    bench = benchmarks_dir()
+    for filename, _desc in EXPERIMENTS.values():
+        assert os.path.exists(os.path.join(bench, filename)), filename

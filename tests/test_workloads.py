@@ -1,0 +1,99 @@
+"""Tests for trace generation and the measurement harness."""
+
+import struct
+
+from repro import Simulator, deploy
+from repro.apps import GTP_PORT, OP_UPDATE, is_signaling
+from repro.apps.counter import SyncCounterApp
+from repro.workloads.traces import (
+    SIZE_BUCKETS,
+    epc_trace,
+    five_tuple_trace,
+    kv_trace,
+    vlan_trace,
+)
+from repro.workloads.harness import EchoResponder, RttProbe
+
+
+def test_five_tuple_trace_determinism_and_sizes():
+    a = five_tuple_trace(500, 20, 1, 2, seed=3)
+    b = five_tuple_trace(500, 20, 1, 2, seed=3)
+    assert [(e.time_us, e.pkt.byte_size()) for e in a] == [
+        (e.time_us, e.pkt.byte_size()) for e in b
+    ]
+    sizes = {e.pkt.byte_size() for e in a}
+    valid = {max(s, 60) for s, _w in SIZE_BUCKETS}
+    assert sizes <= valid
+    assert len(sizes) > 2  # the mix is actually bimodal-ish
+
+
+def test_five_tuple_trace_zipf_skew():
+    events = five_tuple_trace(2000, 50, 1, 2, seed=1)
+    counts = {}
+    for event in events:
+        counts[event.flow] = counts.get(event.flow, 0) + 1
+    top = max(counts.values())
+    assert top > 2000 / 50 * 3  # far above uniform share
+
+
+def test_flow_stagger_limits_early_flows():
+    events = five_tuple_trace(1000, 100, 1, 2, flow_stagger_us=1000.0, seed=2)
+    early = [e.flow for e in events if e.time_us < 1000.0]
+    assert max(early) == 0  # only flow 0 eligible in the first window
+
+
+def test_trace_ids_monotonic_and_embedded():
+    events = five_tuple_trace(100, 5, 1, 2, seed=0)
+    assert [e.trace_id for e in events] == list(range(100))
+    assert all(e.pkt.ip.identification == e.trace_id for e in events)
+
+
+def test_epc_trace_signaling_ratio():
+    events = epc_trace(1800, 10, 1, 2, seed=4)
+    signaling = [e for e in events if is_signaling(e.pkt)]
+    data = [e for e in events if not is_signaling(e.pkt)]
+    assert len(signaling) == 1800 // 18
+    assert len(signaling) + len(data) == 1800
+    assert all(e.pkt.l4.dport == GTP_PORT for e in events)
+
+
+def test_epc_signaling_carries_fresh_teid():
+    events = epc_trace(36, 1, 1, 2, seed=4)
+    sig = [e for e in events if is_signaling(e.pkt)]
+    teids = [struct.unpack_from("!BII", e.pkt.payload, 0)[2] for e in sig]
+    assert teids == sorted(teids) and len(set(teids)) == len(teids)
+
+
+def test_kv_trace_update_ratio():
+    events = kv_trace(3000, 100, 1, update_ratio=0.25, seed=5)
+    updates = sum(1 for e in events if e.pkt.payload[0] == OP_UPDATE)
+    assert 0.20 < updates / 3000 < 0.30
+    assert all(e.pkt.l4.dport == 5300 for e in events)
+
+
+def test_kv_trace_ratio_bounds():
+    import pytest
+
+    with pytest.raises(ValueError):
+        kv_trace(10, 10, 1, update_ratio=1.5)
+
+
+def test_vlan_trace_tags():
+    events = vlan_trace(300, vlans=[10, 20], flows_per_vlan=5, src_ip=1,
+                        dst_ip=2, seed=6)
+    tags = {e.pkt.vlan for e in events}
+    assert tags == {10, 20}
+
+
+def test_rtt_probe_and_echo(sim, counter_deployment):
+    dep = counter_deployment
+    e1, s11 = dep.bed.externals[0], dep.bed.servers[0]
+    EchoResponder(s11)
+    probe = RttProbe(e1)
+    events = five_tuple_trace(200, 10, e1.ip, s11.ip, seed=7,
+                              flow_stagger_us=500.0)
+    probe.replay(events)
+    sim.run_until_idle()
+    assert len(probe.rtts_us) == 200
+    assert probe.lost == 0
+    assert all(rtt > 0 for rtt in probe.rtts_us)
