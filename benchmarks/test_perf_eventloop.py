@@ -1,0 +1,107 @@
+"""Event-loop performance baseline (wall clock, not a paper figure).
+
+Measures how many simulated events per wall-second this machine executes,
+both for a raw timer-churn microbenchmark and for the full RedPlane
+pipeline, using the telemetry :class:`~repro.telemetry.ScopedTimer`. The
+numbers land in ``BENCH_eventloop.json`` at the repository root so a
+regression in the simulator hot path shows up as a drop between runs.
+
+Wall-clock results are machine-dependent; they are deliberately *not*
+written into ``bench_results.txt`` (which must stay bit-identical across
+runs of the same seed) and the assertions are loose floors that only
+catch order-of-magnitude regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro import Simulator, deploy
+from repro.apps.counter import SyncCounterApp
+from repro.net.packet import Packet
+from repro.telemetry import ScopedTimer
+
+RESULTS_PATH = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), "..", "BENCH_eventloop.json")
+)
+
+RAW_EVENTS = 200_000
+PIPELINE_PACKETS = 2_000
+SEED = 5
+
+
+def run_raw_eventloop() -> dict:
+    """Timer churn only: the scheduler/heap floor of everything else."""
+    sim = Simulator(seed=SEED)
+
+    def tick() -> None:
+        if sim.events_executed < RAW_EVENTS:
+            sim.schedule(1.0, tick)
+
+    # A handful of concurrent timer chains approximates the heap depth of
+    # a real run better than one serial chain.
+    for i in range(8):
+        sim.schedule(float(i), tick)
+    with ScopedTimer("raw") as timer:
+        sim.run_until_idle()
+    return {
+        "events": sim.events_executed,
+        "wall_s": timer.elapsed_s,
+        "events_per_s": timer.rate(sim.events_executed),
+    }
+
+
+def run_pipeline() -> dict:
+    """Full stack: testbed, ASIC pipeline, replication, state store."""
+    sim = Simulator(seed=SEED)
+    dep = deploy(sim, SyncCounterApp)
+    sender = dep.bed.externals[0]
+    receiver = dep.bed.servers[0]
+
+    def send_packet() -> None:
+        sender.send(Packet.udp(sender.ip, receiver.ip, 5555, 7777))
+
+    for i in range(PIPELINE_PACKETS):
+        sim.schedule(i * 10.0, send_packet)
+    with ScopedTimer("pipeline") as timer:
+        sim.run_until_idle()
+    packets = sum(e.stats["app_packets"] for e in dep.engines.values())
+    return {
+        "events": sim.events_executed,
+        "packets": packets,
+        "wall_s": timer.elapsed_s,
+        "events_per_s": timer.rate(sim.events_executed),
+        "packets_per_s": timer.rate(packets),
+    }
+
+
+def test_perf_eventloop(run_once):
+    def experiment():
+        return {
+            "raw_eventloop": run_raw_eventloop(),
+            "redplane_pipeline": run_pipeline(),
+        }
+
+    results = run_once(experiment)
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    raw = results["raw_eventloop"]
+    pipe = results["redplane_pipeline"]
+    print(f"\nevent-loop baseline (wall clock; see {RESULTS_PATH}):")
+    print(f"  raw       {raw['events']:>8d} events   "
+          f"{raw['events_per_s']:>12.0f} events/s")
+    print(f"  pipeline  {pipe['events']:>8d} events   "
+          f"{pipe['events_per_s']:>12.0f} events/s   "
+          f"{pipe['packets_per_s']:>10.0f} packets/s")
+
+    assert raw["events"] >= RAW_EVENTS
+    # >=: a buffered packet bouncing through the network re-enters the
+    # engine and counts again.
+    assert pipe["packets"] >= PIPELINE_PACKETS
+    # Loose floors: any interpreter on any machine clears these unless the
+    # hot path regressed by an order of magnitude.
+    assert raw["events_per_s"] > 10_000
+    assert pipe["packets_per_s"] > 50

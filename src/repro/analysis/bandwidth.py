@@ -2,8 +2,10 @@
 
 Fig 10 reports, per application, the share of a switch's traffic that is
 RedPlane protocol bytes (requests sent plus responses received, full
-packets including piggybacked payloads) — measured here straight from the
-:class:`~repro.switch.asic.SwitchASIC` byte counters.
+packets including piggybacked payloads) — read here from the run's
+:class:`~repro.telemetry.MetricRegistry` (``switch.bytes_*`` counters
+labeled by switch name), so the analysis layer never reaches into switch
+internals.
 
 Fig 11 reports the absolute bandwidth of periodic snapshot replication as
 a function of snapshot frequency and sketch count. The paper counts
@@ -18,29 +20,37 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
-from repro.switch.asic import SwitchASIC
-
 #: RedPlane header bytes for a one-value snapshot message:
 #: seq(4) + type(1) + flags(1) + aux(2) + flow key(13) + nvals(1) + val(4).
 SNAPSHOT_HEADER_BYTES = 26
 
 
-def protocol_share(switches: Iterable[SwitchASIC]) -> float:
+def _byte_totals(switches: Iterable) -> Dict[str, float]:
+    """Registry-side byte totals for a set of switches (one shared sim)."""
+    sws = list(switches)
+    if not sws:
+        return {"requests": 0.0, "responses": 0.0, "original": 0.0}
+    registry = sws[0].sim.metrics
+    names = {sw.name for sw in sws}
+    return {
+        "requests": registry.total("switch.bytes_protocol_out", switch=names),
+        "responses": registry.total("switch.bytes_protocol_in", switch=names),
+        "original": registry.total("switch.bytes_original_out", switch=names),
+    }
+
+
+def protocol_share(switches: Iterable) -> float:
     """Fraction of total traffic that is protocol bytes (Fig 10's metric)."""
-    protocol = 0
-    original = 0
-    for sw in switches:
-        protocol += sw.bytes_protocol_out + sw.bytes_protocol_in
-        original += sw.bytes_original_out
-    total = protocol + original
+    t = _byte_totals(switches)
+    protocol = t["requests"] + t["responses"]
+    total = protocol + t["original"]
     return protocol / total if total else 0.0
 
 
-def fig10_row(switches: Iterable[SwitchASIC]) -> Dict[str, float]:
+def fig10_row(switches: Iterable) -> Dict[str, float]:
     """The three Fig 10 bar components, as fractions of total bytes."""
-    req = sum(sw.bytes_protocol_out for sw in switches)
-    resp = sum(sw.bytes_protocol_in for sw in switches)
-    orig = sum(sw.bytes_original_out for sw in switches)
+    t = _byte_totals(switches)
+    req, resp, orig = t["requests"], t["responses"], t["original"]
     total = req + resp + orig
     if total == 0:
         return {"original": 0.0, "requests": 0.0, "responses": 0.0}

@@ -1,24 +1,17 @@
-"""Latency statistics helpers: percentiles and CDFs for the Fig 8/9 plots."""
+"""Latency statistics helpers: percentiles and CDFs for the Fig 8/9 plots.
+
+The percentile math itself lives in :mod:`repro.telemetry.metrics` (the
+histograms use it too); this module re-exports it so analysis code and
+telemetry snapshots agree bit-for-bit.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.telemetry.metrics import percentile
 
-def percentile(samples: Sequence[float], p: float) -> float:
-    """The p-th percentile (0-100) with linear interpolation."""
-    if not samples:
-        raise ValueError("no samples")
-    if not 0.0 <= p <= 100.0:
-        raise ValueError("percentile must be in [0, 100]")
-    ordered = sorted(samples)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (p / 100.0) * (len(ordered) - 1)
-    lo = int(rank)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = rank - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+__all__ = ["percentile", "summarize", "cdf_points", "format_cdf_row"]
 
 
 def summarize(samples: Sequence[float]) -> Dict[str, float]:

@@ -52,6 +52,8 @@ from repro.core.protocol import (
 )
 from repro.statestore.server import CHAIN_UDP_PORT
 from repro.statestore.sharding import ShardMap
+from repro.telemetry import trace as tt
+from repro.telemetry.compat import StatGroupView
 
 #: UDP ports whose traffic is never treated as application traffic.
 _PROTOCOL_PORTS = {STORE_UDP_PORT, SWITCH_UDP_PORT, CHAIN_UDP_PORT}
@@ -159,18 +161,38 @@ class RedPlaneEngine(ControlBlock):
         self._copies_snapshot: Dict[Tuple[FlowKey, int], object] = {}
 
         self.history: List[HistoryEvent] = []
-        self.stats: Dict[str, int] = {
-            "app_packets": 0,
-            "fast_path_forwards": 0,
-            "writes_replicated": 0,
-            "reads_buffered": 0,
-            "lease_requests": 0,
-            "lease_renewals": 0,
-            "retransmissions": 0,
-            "acks_received": 0,
-            "piggybacks_released": 0,
-            "stale_acks_ignored": 0,
+        # Protocol statistics live in the run's metric registry, one
+        # counter per stat labeled by switch; ``stats`` keeps the historical
+        # dict reading surface as a view over them.
+        metrics = switch.sim.metrics
+        self.tracer = switch.sim.tracer
+        self._c = {
+            stat: metrics.counter(f"redplane.{stat}", switch=switch.name)
+            for stat in (
+                "app_packets",
+                "fast_path_forwards",
+                "writes_replicated",
+                "reads_buffered",
+                "lease_requests",
+                "lease_renewals",
+                "retransmissions",
+                "acks_received",
+                "piggybacks_released",
+                "stale_acks_ignored",
+            )
         }
+        self.stats = StatGroupView(self._c)
+        #: Replication round trips as the switch observes them: time from a
+        #: request's (re)send to the release of its mirrored copy.
+        self._h_ack_rtt = metrics.histogram(
+            "redplane.ack_rtt_us", switch=switch.name
+        )
+        self._c_reclaimed = metrics.counter(
+            "redplane.flows_reclaimed", switch=switch.name
+        )
+        self._g_flow_table = metrics.gauge(
+            "redplane.flow_table_entries", switch=switch.name
+        )
 
     # ------------------------------------------------------------------
     # pipeline entry point
@@ -196,7 +218,7 @@ class RedPlaneEngine(ControlBlock):
         if key is None:
             return True  # not application traffic
 
-        self.stats["app_packets"] += 1
+        self._c["app_packets"].inc()
         if not pkt.meta.get("rp_reinjected"):
             self._record("input", key, pkt)
 
@@ -213,7 +235,7 @@ class RedPlaneEngine(ControlBlock):
 
         lease_expiry = self.reg_lease_expiry.read(ctx, idx)
         if lease_expiry <= now:
-            self._no_lease_path(ctx, key, idx, now)
+            self._no_lease_path(ctx, key, idx, now, lease_expiry)
             return False
 
         return self._leased_path(ctx, key, idx, now)
@@ -223,10 +245,23 @@ class RedPlaneEngine(ControlBlock):
     # ------------------------------------------------------------------
 
     def _no_lease_path(
-        self, ctx: PipelineContext, key: FlowKey, idx: int, now: float
+        self,
+        ctx: PipelineContext,
+        key: FlowKey,
+        idx: int,
+        now: float,
+        lease_expiry: float = 0.0,
     ) -> None:
         """No valid lease: request one, piggybacking the packet (§5.1/§5.3)."""
         pending = self.reg_lease_pending.access(ctx, idx, lambda old: (1, old))
+        if not pending and lease_expiry > 0:
+            # The flow held a lease before; it has lapsed locally.
+            self.tracer.emit(
+                tt.LEASE_EXPIRY,
+                switch=self.switch.name,
+                flow=str(key),
+                expired_at=lease_expiry,
+            )
         msg = RedPlaneMessage(
             seq=0,
             msg_type=MessageType.LEASE_NEW_REQ,
@@ -234,11 +269,14 @@ class RedPlaneEngine(ControlBlock):
             piggyback=pack_packets([ctx.pkt.to_bytes()]),
         )
         self._send_request(ctx, msg)
-        self.stats["lease_requests"] += 1
+        self._c["lease_requests"].inc()
         if not pending:
             # Only the first request per flow is retransmitted; piggybacked
             # packets on later requests may be lost, which the correctness
             # model permits (a lost input, §4.2).
+            self.tracer.emit(
+                tt.LEASE_REQUEST, switch=self.switch.name, flow=str(key)
+            )
             self._mirror_request(msg, kind="lease_new", idx=idx)
         ctx.consume()
 
@@ -254,7 +292,7 @@ class RedPlaneEngine(ControlBlock):
         if verdict is AppVerdict.DROP:
             ctx.drop()
             return False
-        self.stats["fast_path_forwards"] += 1
+        self._c["fast_path_forwards"].inc()
         self._record("output", key, ctx.pkt)
         return True
 
@@ -296,7 +334,7 @@ class RedPlaneEngine(ControlBlock):
             )
             self._send_request(ctx, msg)
             self._mirror_request(msg, kind="write", idx=idx, seq=seq)
-            self.stats["writes_replicated"] += 1
+            self._c["writes_replicated"].inc()
             ctx.consume()
             return False
 
@@ -317,12 +355,12 @@ class RedPlaneEngine(ControlBlock):
                 piggyback=pack_packets([pkt.to_bytes()]),
             )
             self._send_request(ctx, msg)
-            self.stats["reads_buffered"] += 1
+            self._c["reads_buffered"].inc()
             ctx.consume()
             return False
 
         self._maybe_renew_lease(ctx, key, idx, now)
-        self.stats["fast_path_forwards"] += 1
+        self._c["fast_path_forwards"].inc()
         self._record("output", key, pkt)
         return True  # line-rate fast path: normal L3 forwarding
 
@@ -345,7 +383,10 @@ class RedPlaneEngine(ControlBlock):
             self._send_request(ctx, msg)
             self._renew_outstanding.add(idx)
             self._mirror_request(msg, kind="renew", idx=idx)
-            self.stats["lease_renewals"] += 1
+            self._c["lease_renewals"].inc()
+            self.tracer.emit(
+                tt.LEASE_RENEW, switch=self.switch.name, flow=str(key)
+            )
 
     # ------------------------------------------------------------------
     # responses from the state store
@@ -353,7 +394,7 @@ class RedPlaneEngine(ControlBlock):
 
     def _handle_response(self, ctx: PipelineContext) -> None:
         msg = parse_protocol_packet(ctx.pkt)
-        self.stats["acks_received"] += 1
+        self._c["acks_received"].inc()
 
         if msg.msg_type is MessageType.SNAPSHOT_REPL_ACK:
             copy = self._copies_snapshot.get((msg.flow_key, msg.aux))
@@ -366,7 +407,7 @@ class RedPlaneEngine(ControlBlock):
 
         idx = self._flow_idx.get(msg.flow_key)
         if idx is None:
-            self.stats["stale_acks_ignored"] += 1
+            self._c["stale_acks_ignored"].inc()
             return
         now = self.switch.sim.now
 
@@ -383,16 +424,24 @@ class RedPlaneEngine(ControlBlock):
         elif msg.msg_type is MessageType.READ_BUFFER_ACK:
             self._handle_read_buffer_ack(ctx, msg, idx)
         else:
-            self.stats["stale_acks_ignored"] += 1
+            self._c["stale_acks_ignored"].inc()
 
     def _handle_lease_new_ack(
         self, ctx: PipelineContext, msg: RedPlaneMessage, idx: int, now: float
     ) -> None:
         copy = self._copy_lease.pop(idx, None)
         if copy is not None:
+            self._h_ack_rtt.observe(now - float(copy.meta["ts"]))
             self.mirror.release(copy)
         was_pending = self.reg_lease_pending.access(ctx, idx, lambda old: (0, old))
         if was_pending:
+            self.tracer.emit(
+                tt.LEASE_GRANT,
+                switch=self.switch.name,
+                flow=str(msg.flow_key),
+                seq=msg.seq,
+                migrated=bool(msg.vals),
+            )
             # Install the returned state (migration) or initialize fresh
             # state; never clobber state we already own (a late duplicate
             # ack must not roll back newer local updates).
@@ -437,12 +486,14 @@ class RedPlaneEngine(ControlBlock):
         copies = self._copies_write.get(idx)
         if copies:
             for seq in [s for s in copies if s <= msg.seq]:
-                self.mirror.release(copies.pop(seq))
+                copy = copies.pop(seq)
+                self._h_ack_rtt.observe(now - float(copy.meta["ts"]))
+                self.mirror.release(copy)
         self._extend_lease(ctx, idx, now)
         if msg.piggyback is not None:
             for raw in unpack_packets(msg.piggyback):
                 out = Packet.from_bytes(raw)
-                self.stats["piggybacks_released"] += 1
+                self._c["piggybacks_released"].inc()
                 self._record("output", msg.flow_key, out)
                 ctx.emit(out)
 
@@ -463,7 +514,7 @@ class RedPlaneEngine(ControlBlock):
         if last_acked >= msg.seq:
             for raw in unpack_packets(msg.piggyback):
                 out = Packet.from_bytes(raw)
-                self.stats["piggybacks_released"] += 1
+                self._c["piggybacks_released"].inc()
                 self._record("output", msg.flow_key, out)
                 ctx.emit(out)
         else:
@@ -476,7 +527,7 @@ class RedPlaneEngine(ControlBlock):
                 piggyback=msg.piggyback,
             )
             self._send_request(ctx, again)
-            self.stats["reads_buffered"] += 1
+            self._c["reads_buffered"].inc()
 
     def _reinject_piggyback(self, piggyback: Optional[bytes]) -> None:
         if piggyback is None:
@@ -501,6 +552,12 @@ class RedPlaneEngine(ControlBlock):
     def send_snapshot_request(self, msg: RedPlaneMessage, retransmit: bool = True) -> None:
         """Used by the snapshot replicator (§5.4) to ship one slot value."""
         self._send_request(None, msg)
+        self.tracer.emit(
+            tt.SNAPSHOT,
+            switch=self.switch.name,
+            slot=msg.aux,
+            epoch=msg.seq,
+        )
         if retransmit:
             self._mirror_request(msg, kind="snapshot", idx=-1, seq=msg.seq)
 
@@ -550,7 +607,15 @@ class RedPlaneEngine(ControlBlock):
         if now - float(meta["ts"]) >= timeout:  # type: ignore[arg-type]
             msg: RedPlaneMessage = meta["msg"]  # type: ignore[assignment]
             self._send_request(None, msg)
-            self.stats["retransmissions"] += 1
+            self._c["retransmissions"].inc()
+            self.tracer.emit(
+                tt.RETRANSMIT,
+                switch=self.switch.name,
+                kind=str(meta["kind"]),
+                flow=str(msg.flow_key),
+                seq=msg.seq,
+                timeout_us=timeout,
+            )
             meta["ts"] = now
             meta["timeout"] = min(
                 timeout * self.config.retransmit_backoff,
@@ -611,6 +676,7 @@ class RedPlaneEngine(ControlBlock):
                 )
             self._flow_idx[key] = idx
             self._idx_key[idx] = key
+            self._g_flow_table.set(len(self._flow_idx))
         return idx
 
     def reclaim_idle_flows(self, idle_us: Optional[float] = None) -> int:
@@ -652,6 +718,9 @@ class RedPlaneEngine(ControlBlock):
             del self._idx_key[idx]
             self._free_indices.append(idx)
             reclaimed += 1
+        if reclaimed:
+            self._c_reclaimed.inc(reclaimed)
+        self._g_flow_table.set(len(self._flow_idx))
         return reclaimed
 
     @staticmethod
@@ -721,7 +790,7 @@ class RedPlaneEngine(ControlBlock):
         VLIW slots, crossbar and hash bits) come from the block inventory.
         """
         flows = self.config.max_flows
-        return {
+        usage = {
             "sram_bits": flows * (96 + 128) + 1024 * 152,
             "tcam_bits": 2 * 4096 * 96,
             "meter_alus": 4,
@@ -730,3 +799,11 @@ class RedPlaneEngine(ControlBlock):
             "match_crossbar_bits": 976,
             "hash_bits": 185,
         }
+        # Table 2 reads these from the registry: one gauge per resource,
+        # labeled by switch, so resource numbers have a single source.
+        metrics = self.switch.sim.metrics
+        for resource, amount in usage.items():
+            metrics.gauge(
+                f"redplane.resource.{resource}", switch=self.switch.name
+            ).set(amount)
+        return usage

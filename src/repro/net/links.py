@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 from repro.net import constants
 from repro.net.packet import Packet
 from repro.net.simulator import Simulator
+from repro.telemetry import trace as tt
 
 
 class Node:
@@ -98,11 +99,26 @@ class Link:
         #: Finite transmit queue (tail drop) per direction; None = infinite.
         self.queue_limit_bytes = queue_limit_bytes
         self.up = True
-        self.queue_drops = 0
         self.name = name or f"{a.node.name}<->{b.node.name}"
-        #: Byte and packet counters per direction, keyed by sending port.
-        self.tx_bytes: Dict[int, int] = {id(a): 0, id(b): 0}
-        self.tx_packets: Dict[int, int] = {id(a): 0, id(b): 0}
+        # Per-direction byte/packet accounting, published through the run's
+        # metric registry; handles are cached here so the transmit hot path
+        # pays one dict lookup + one float add. (Parallel links with an
+        # identical default name share instruments; name them explicitly if
+        # per-link numbers matter.)
+        m = sim.metrics
+        self._dir_names: Dict[int, str] = {
+            id(a): f"{a.node.name}->{b.node.name}",
+            id(b): f"{b.node.name}->{a.node.name}",
+        }
+        self._ctr_tx_bytes = {
+            pid: m.counter("link.tx_bytes", link=self.name, dir=d)
+            for pid, d in self._dir_names.items()
+        }
+        self._ctr_tx_packets = {
+            pid: m.counter("link.tx_packets", link=self.name, dir=d)
+            for pid, d in self._dir_names.items()
+        }
+        self._ctr_queue_drops = m.counter("link.queue_drops", link=self.name)
         #: Per-direction transmit-queue drain time: packets serialize one
         #: after another, so a burst queues (and TCP sees real bandwidth).
         self._busy_until: Dict[int, float] = {id(a): 0.0, id(b): 0.0}
@@ -121,28 +137,38 @@ class Link:
         bits = pkt.byte_size() * 8
         return bits / (self.bandwidth_gbps * 1000.0)
 
+    def _drop(self, pkt: Packet, src_port: Port, reason: str) -> None:
+        self.sim.count(f"link.drops.{reason}")
+        self.sim.tracer.emit(
+            tt.PACKET_DROP,
+            link=self.name,
+            dir=self._dir_names[id(src_port)],
+            reason=reason,
+            bytes=pkt.byte_size(),
+        )
+
     def transmit(self, pkt: Packet, src_port: Port) -> None:
         """Send a packet from ``src_port`` toward the other end."""
         if not self.up:
-            self.sim.count("link.drops.down")
+            self._drop(pkt, src_port, "down")
             return
         dst_port = self.other_end(src_port)
-        self.tx_bytes[id(src_port)] += pkt.byte_size()
-        self.tx_packets[id(src_port)] += 1
+        key = id(src_port)
+        self._ctr_tx_bytes[key].inc(pkt.byte_size())
+        self._ctr_tx_packets[key].inc()
         for tap in self.taps:
             tap(pkt, src_port)
         if self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
-            self.sim.count("link.drops.loss")
+            self._drop(pkt, src_port, "loss")
             return
         # Store-and-forward with per-direction serialization queueing.
-        key = id(src_port)
         backlog_us = max(0.0, self._busy_until[key] - self.sim.now)
         if self.queue_limit_bytes is not None:
             backlog_bytes = backlog_us * self.bandwidth_gbps * 1000.0 / 8.0
             if backlog_bytes + pkt.byte_size() > self.queue_limit_bytes:
                 # Tail drop: the transmit queue is full.
-                self.queue_drops += 1
-                self.sim.count("link.drops.queue")
+                self._ctr_queue_drops.inc()
+                self._drop(pkt, src_port, "queue")
                 return
         start = max(self.sim.now, self._busy_until[key])
         finish = start + self.serialization_delay_us(pkt)
@@ -151,15 +177,28 @@ class Link:
         if self.reorder_rate > 0.0 and self.sim.rng.random() < self.reorder_rate:
             delay += constants.REORDER_EXTRA_US * self.sim.rng.random()
             self.sim.count("link.reordered")
+            self.sim.tracer.emit(
+                tt.PACKET_REORDER,
+                link=self.name,
+                dir=self._dir_names[key],
+                delay_us=delay,
+            )
+        self.sim.tracer.emit(
+            tt.PACKET_SEND,
+            link=self.name,
+            dir=self._dir_names[key],
+            bytes=pkt.byte_size(),
+        )
         self.sim.schedule(delay, self._deliver, pkt, dst_port)
 
     def _deliver(self, pkt: Packet, dst_port: Port) -> None:
+        src_port = self.other_end(dst_port)
         if not self.up:
-            self.sim.count("link.drops.down")
+            self._drop(pkt, src_port, "down")
             return
         node = dst_port.node
         if node.failed:
-            self.sim.count("link.drops.node_failed")
+            self._drop(pkt, src_port, "node_failed")
             return
         node.receive(pkt, dst_port)
 
@@ -172,8 +211,23 @@ class Link:
     def recover(self) -> None:
         self.up = True
 
+    # -- registry-backed accounting views ---------------------------------------
+
+    @property
+    def queue_drops(self) -> int:
+        return int(self._ctr_queue_drops.value)
+
+    @property
+    def tx_bytes(self) -> Dict[int, int]:
+        """Per-direction bytes, keyed by ``id(sending port)`` (legacy shape)."""
+        return {pid: int(c.value) for pid, c in self._ctr_tx_bytes.items()}
+
+    @property
+    def tx_packets(self) -> Dict[int, int]:
+        return {pid: int(c.value) for pid, c in self._ctr_tx_packets.items()}
+
     def total_tx_bytes(self) -> int:
-        return sum(self.tx_bytes.values())
+        return sum(int(c.value) for c in self._ctr_tx_bytes.values())
 
     def __repr__(self) -> str:
         state = "up" if self.up else "DOWN"

@@ -7,6 +7,13 @@ order so that runs are fully deterministic for a given seed.
 Every component in the reproduction (links, switch ASICs, state-store
 servers, TCP endpoints, the RedPlane protocol engine) is driven by this
 loop. Nothing uses wall-clock time.
+
+The simulator also roots the telemetry spine: it owns the run's
+:class:`~repro.telemetry.metrics.MetricRegistry` (:attr:`Simulator.metrics`)
+and :class:`~repro.telemetry.trace.Tracer` (:attr:`Simulator.tracer`),
+which every component publishes through. The historical free-form
+``Simulator.counters`` dict survives as a read view over the registry;
+direct writes to it are deprecated.
 """
 
 from __future__ import annotations
@@ -15,7 +22,10 @@ import heapq
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, List, Optional
+
+from repro.telemetry import MetricRegistry, Tracer
+from repro.telemetry.compat import LegacyCounters
 
 
 @dataclass(order=True)
@@ -48,14 +58,19 @@ class Simulator:
         from :attr:`rng` so that a run is reproducible from its seed.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, trace_ring: int = 65536) -> None:
         self.now: float = 0.0
         self.rng = random.Random(seed)
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._events_executed = 0
-        #: Free-form per-run counters used by experiments (bytes sent, etc.).
-        self.counters: Dict[str, float] = {}
+        #: The run's metric registry: every component publishes through it.
+        self.metrics = MetricRegistry()
+        #: The run's trace ring; timestamps are this clock's simulated time.
+        self.tracer = Tracer(clock=lambda: self.now, maxlen=trace_ring)
+        #: Legacy per-run counters, now a live view over :attr:`metrics`.
+        #: Reads work as before; direct writes raise ``DeprecationWarning``.
+        self.counters = LegacyCounters(self.metrics)
 
     # -- scheduling ---------------------------------------------------------
 
@@ -125,8 +140,8 @@ class Simulator:
     # -- bookkeeping ----------------------------------------------------------
 
     def count(self, key: str, amount: float = 1.0) -> None:
-        """Increment a named experiment counter."""
-        self.counters[key] = self.counters.get(key, 0.0) + amount
+        """Increment a named experiment counter (registry-backed)."""
+        self.metrics.counter(key).inc(amount)
 
     @property
     def pending_events(self) -> int:

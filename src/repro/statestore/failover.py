@@ -26,6 +26,7 @@ from repro.net.simulator import Simulator
 from repro.core.protocol import STORE_UDP_PORT
 from repro.statestore.server import StateStoreNode, build_chain
 from repro.statestore.sharding import ShardAddress, ShardMap
+from repro.telemetry import trace as tt
 
 
 class MutableShardMap(ShardMap):
@@ -68,8 +69,14 @@ class StoreFailoverCoordinator:
         self.heartbeat_interval_us = heartbeat_interval_us
         self.missed_threshold = missed_threshold
         self._missed: Dict[str, int] = {}
-        self.reconfigurations = 0
+        self._c_reconfigurations = sim.metrics.counter(
+            "store.chain_reconfigurations"
+        )
         self.running = False
+
+    @property
+    def reconfigurations(self) -> int:
+        return int(self._c_reconfigurations.value)
 
     def start(self) -> None:
         self.running = True
@@ -107,7 +114,14 @@ class StoreFailoverCoordinator:
         old_head_ip = self.shard_map.addresses()[shard_index].ip
         build_chain(chain.alive)
         new_head = chain.alive[0]
-        self.reconfigurations += 1
+        self._c_reconfigurations.inc()
+        self.sim.tracer.emit(
+            tt.FAILOVER,
+            shard=shard_index,
+            evicted=node.name,
+            new_head=new_head.name,
+            survivors=len(chain.alive),
+        )
         if new_head.ip != old_head_ip:
             address = ShardAddress(ip=new_head.ip, udp_port=STORE_UDP_PORT)
             self.shard_map.set_head(shard_index, address)

@@ -98,11 +98,35 @@ class StateStoreNode(Host):
         self.successor_ip: Optional[int] = None
         self.bind(STORE_UDP_PORT, self._on_request_packet)
         self.bind(CHAIN_UDP_PORT, self._on_chain_packet)
-        self.requests_processed = 0
-        self.updates_applied = 0
-        self.updates_rejected_stale = 0
-        self.leases_granted = 0
-        self.requests_buffered = 0
+        # Per-node protocol statistics, published through the run's metric
+        # registry (labeled by store node); the historical integer
+        # attributes below are read-only properties over these counters.
+        m = sim.metrics
+        self._c_requests = m.counter("store.requests_processed", node=name)
+        self._c_applied = m.counter("store.updates_applied", node=name)
+        self._c_stale = m.counter("store.updates_rejected_stale", node=name)
+        self._c_leases = m.counter("store.leases_granted", node=name)
+        self._c_buffered = m.counter("store.requests_buffered", node=name)
+
+    @property
+    def requests_processed(self) -> int:
+        return int(self._c_requests.value)
+
+    @property
+    def updates_applied(self) -> int:
+        return int(self._c_applied.value)
+
+    @property
+    def updates_rejected_stale(self) -> int:
+        return int(self._c_stale.value)
+
+    @property
+    def leases_granted(self) -> int:
+        return int(self._c_leases.value)
+
+    @property
+    def requests_buffered(self) -> int:
+        return int(self._c_buffered.value)
 
     # -- helpers ------------------------------------------------------------
 
@@ -136,7 +160,7 @@ class StateStoreNode(Host):
     def _process_request(self, msg: RedPlaneMessage, requester_ip: int) -> None:
         if self.failed:
             return
-        self.requests_processed += 1
+        self._c_requests.inc()
         now = self.sim.now
         rec = self.record(msg.flow_key)
 
@@ -171,7 +195,7 @@ class StateStoreNode(Host):
             ):
                 return
             rec.pending.append((msg, requester_ip))
-            self.requests_buffered += 1
+            self._c_buffered.inc()
             self.sim.schedule_at(
                 rec.lease_expiry + 1e-6, self._drain_pending, msg.flow_key
             )
@@ -211,11 +235,11 @@ class StateStoreNode(Host):
                 rec.vals = list(msg.vals)
                 rec.initialized = True
                 rec.last_seq = msg.seq
-                self.updates_applied += 1
+                self._c_applied.inc()
             else:
                 # Out-of-order or duplicate: never let an older value
                 # overwrite a newer one (Fig 6b).
-                self.updates_rejected_stale += 1
+                self._c_stale.inc()
             return RedPlaneMessage(
                 seq=rec.last_seq,
                 msg_type=MessageType.REPL_WRITE_ACK,
@@ -237,7 +261,7 @@ class StateStoreNode(Host):
                 rec.snapshot_vals[slot] = msg.vals[0] if msg.vals else 0
                 rec.snapshot_seqs[slot] = msg.seq
                 rec.initialized = True
-                self.updates_applied += 1
+                self._c_applied.inc()
             # Carry the applied slot value so chain replicas converge even
             # when an older epoch was rejected at the head.
             return RedPlaneMessage(
@@ -252,7 +276,7 @@ class StateStoreNode(Host):
 
     def _grant(self, rec: FlowRecord, requester_ip: int, now: float) -> None:
         if rec.owner_ip != requester_ip:
-            self.leases_granted += 1
+            self._c_leases.inc()
         rec.owner_ip = requester_ip
         rec.lease_expiry = now + self.lease_period_us
 

@@ -55,17 +55,21 @@ class SwitchASIC(L3Switch):
         self.capacity_mpps = capacity_mpps
         self._mirror_sessions: Dict[int, MirrorSession] = {}
         self._next_mirror_id = 1
-        # Packet-buffer occupancy (bytes) due to mirrored/held packets.
-        self.buffer_occupancy = 0
-        self.peak_buffer_occupancy = 0
-        # Traffic accounting for the bandwidth-overhead experiments.
-        self.bytes_original_out = 0
-        self.bytes_protocol_out = 0
-        self.bytes_protocol_in = 0
-        #: Store-to-store chain traffic merely transiting this switch; not
-        #: part of the app switch's own send/receive accounting (Fig 10).
-        self.bytes_chain_transit = 0
-        self.pkts_processed = 0
+        # All per-switch accounting lives in the run's metric registry,
+        # labeled by switch name; handles are cached for the hot path and
+        # the historical attributes below are properties over them.
+        m = sim.metrics
+        self._g_buffer = m.gauge("switch.buffer_occupancy_bytes", switch=name)
+        self._g_buffer_peak = m.gauge("switch.buffer_peak_bytes", switch=name)
+        self._c_bytes_original_out = m.counter(
+            "switch.bytes_original_out", switch=name)
+        self._c_bytes_protocol_out = m.counter(
+            "switch.bytes_protocol_out", switch=name)
+        self._c_bytes_protocol_in = m.counter(
+            "switch.bytes_protocol_in", switch=name)
+        self._c_bytes_chain_transit = m.counter(
+            "switch.bytes_chain_transit", switch=name)
+        self._c_pkts_processed = m.counter("switch.pkts_processed", switch=name)
 
     # -- peripherals -----------------------------------------------------------
 
@@ -89,19 +93,32 @@ class SwitchASIC(L3Switch):
     # -- buffer accounting --------------------------------------------------------
 
     def buffer_acquire(self, nbytes: int) -> None:
-        self.buffer_occupancy += nbytes
-        if self.buffer_occupancy > self.peak_buffer_occupancy:
-            self.peak_buffer_occupancy = self.buffer_occupancy
-        if self.buffer_occupancy > self.buffer_bytes:
+        self._g_buffer.add(nbytes)
+        self._g_buffer_peak.set_max(self._g_buffer.value)
+        if self._g_buffer.value > self.buffer_bytes:
             raise RuntimeError(
                 f"{self.name}: packet buffer overflow "
-                f"({self.buffer_occupancy} > {self.buffer_bytes} bytes)"
+                f"({int(self._g_buffer.value)} > {self.buffer_bytes} bytes)"
             )
 
     def buffer_release(self, nbytes: int) -> None:
-        self.buffer_occupancy -= nbytes
-        if self.buffer_occupancy < 0:
+        self._g_buffer.add(-nbytes)
+        if self._g_buffer.value < 0:
             raise AssertionError(f"{self.name}: negative buffer occupancy")
+
+    @property
+    def buffer_occupancy(self) -> int:
+        """Packet-buffer bytes held by mirrored/held packets (gauge view)."""
+        return int(self._g_buffer.value)
+
+    @property
+    def peak_buffer_occupancy(self) -> int:
+        return int(self._g_buffer_peak.value)
+
+    @peak_buffer_occupancy.setter
+    def peak_buffer_occupancy(self, value: int) -> None:
+        # Experiments reset the peak after warm-up (Fig 15's steady state).
+        self._g_buffer_peak.set(value)
 
     # -- packet processing -----------------------------------------------------------
 
@@ -113,11 +130,11 @@ class SwitchASIC(L3Switch):
         self.process(pkt)
 
     def process(self, pkt: Packet) -> None:
-        self.pkts_processed += 1
+        self._c_pkts_processed.inc()
         if pkt.meta.get("rp_kind") == "response":
             # Piggybacked bytes are counted when the released output leaves.
             piggyback = int(pkt.meta.get("rp_piggyback_len", 0))
-            self.bytes_protocol_in += pkt.byte_size() - piggyback
+            self._c_bytes_protocol_in.inc(pkt.byte_size() - piggyback)
         ctx = PipelineContext(pkt=pkt, now=self.sim.now)
         self.pipeline.run(ctx, self)
         if ctx.verdict is Verdict.FORWARD:
@@ -138,17 +155,41 @@ class SwitchASIC(L3Switch):
     def _egress(self, pkt: Packet) -> None:
         kind = pkt.meta.get("rp_kind")
         if kind == "chain":
-            self.bytes_chain_transit += pkt.byte_size()
+            self._c_bytes_chain_transit.inc(pkt.byte_size())
         elif kind in ("request", "response"):
             # Piggybacked original bytes ride inside protocol messages but
             # are application traffic; only the encapsulation + RedPlane
             # header count as replication overhead (Fig 10's accounting).
             piggyback = int(pkt.meta.get("rp_piggyback_len", 0))
-            self.bytes_protocol_out += pkt.byte_size() - piggyback
-            self.bytes_original_out += piggyback
+            self._c_bytes_protocol_out.inc(pkt.byte_size() - piggyback)
+            self._c_bytes_original_out.inc(piggyback)
         else:
-            self.bytes_original_out += pkt.byte_size()
+            self._c_bytes_original_out.inc(pkt.byte_size())
         self.forward(pkt)
+
+    # -- traffic accounting views (registry-backed) ---------------------------------
+
+    @property
+    def bytes_original_out(self) -> int:
+        return int(self._c_bytes_original_out.value)
+
+    @property
+    def bytes_protocol_out(self) -> int:
+        return int(self._c_bytes_protocol_out.value)
+
+    @property
+    def bytes_protocol_in(self) -> int:
+        return int(self._c_bytes_protocol_in.value)
+
+    @property
+    def bytes_chain_transit(self) -> int:
+        """Store-to-store chain traffic merely transiting this switch; not
+        part of the app switch's own send/receive accounting (Fig 10)."""
+        return int(self._c_bytes_chain_transit.value)
+
+    @property
+    def pkts_processed(self) -> int:
+        return int(self._c_pkts_processed.value)
 
     # -- bandwidth overhead (Fig 10) -----------------------------------------------
 

@@ -63,7 +63,17 @@ class MirrorSession:
         self.truncate_to_bytes = truncate_to_bytes
         self.pass_interval_us = pass_interval_us
         self.handler: Optional[PassHandler] = None
-        self.active_copies = 0
+        self._g_active = asic.sim.metrics.gauge(
+            "mirror.active_copies", switch=asic.name, session=session_id
+        )
+        self._c_mirrored = asic.sim.metrics.counter(
+            "mirror.copies_total", switch=asic.name, session=session_id
+        )
+
+    @property
+    def active_copies(self) -> int:
+        """Copies currently circulating (registry gauge view)."""
+        return int(self._g_active.value)
 
     def mirror(
         self, pkt: Packet, meta: Optional[Dict[str, object]] = None
@@ -79,7 +89,8 @@ class MirrorSession:
         copy_meta: Dict[str, object] = dict(meta or {})
         copy_meta["mirror_ts"] = self.asic.sim.now
         copy = MirrorCopy(dup, copy_meta, self.buffered_size(dup))
-        self.active_copies += 1
+        self._g_active.add(1)
+        self._c_mirrored.inc()
         self.asic.buffer_acquire(copy.size)
         copy.event = self.asic.sim.schedule(
             self.pass_interval_us, self._one_pass, copy
@@ -91,7 +102,7 @@ class MirrorSession:
         if copy.released:
             return
         copy.released = True
-        self.active_copies -= 1
+        self._g_active.add(-1)
         self.asic.buffer_release(copy.size)
         if copy.event is not None:
             copy.event.cancel()

@@ -1,0 +1,41 @@
+"""Unified observability: metrics, traces, and wall-clock timers.
+
+Every measurement the reproduction reports — the Fig 8-15 and Table 1/2
+numbers, the ad-hoc drop counters, the protocol engine's statistics —
+flows through this package instead of bespoke per-component attributes:
+
+* :class:`MetricRegistry` — labeled counters, gauges, and streaming
+  histograms, owned by the :class:`~repro.net.simulator.Simulator` and
+  shared by every component of a run;
+* :class:`Tracer` — typed, sim-timestamped trace records (packet drops,
+  lease transitions, retransmissions, snapshots, failovers) in a bounded
+  ring buffer with an optional JSONL sink;
+* :class:`ScopedTimer` — wall-clock timing for profiling the event-loop
+  hot path (the only place wall-clock time is allowed).
+
+Components *publish* through the registry/tracer; analysis modules and
+the ``python -m repro.tools metrics|trace`` CLI *read* from them. See
+docs/TELEMETRY.md for naming conventions and the label schema.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    percentile,
+)
+from repro.telemetry.timers import ScopedTimer
+from repro.telemetry.trace import TraceRecord, Tracer, read_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "ScopedTimer",
+    "TraceRecord",
+    "Tracer",
+    "percentile",
+    "read_jsonl",
+]

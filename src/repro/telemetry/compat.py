@@ -1,0 +1,93 @@
+"""Back-compat shims: legacy counter dicts as views over the registry.
+
+The pre-telemetry code exposed free-form stat dicts (``Simulator.counters``,
+``RedPlaneEngine.stats``). Those dicts are now *views* over registry
+instruments, so existing experiments and tests keep working unchanged
+while the registry is the single source of truth. Direct writes through
+the legacy ``Simulator.counters`` mapping raise a ``DeprecationWarning``;
+new code should use ``sim.metrics.counter(name).inc()``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Iterator, Mapping, MutableMapping
+
+from repro.telemetry.metrics import Counter, MetricRegistry
+
+
+class LegacyCounters(MutableMapping):
+    """``Simulator.counters`` shim: a dict view of unlabeled counters.
+
+    Reads reflect the registry live. Writes still work (some old
+    experiment code resets counters between phases) but warn; deletion
+    likewise. Labeled instruments never appear here — the legacy dict
+    only ever held the flat ``sim.count()`` namespace.
+    """
+
+    def __init__(self, registry: MetricRegistry) -> None:
+        self._registry = registry
+
+    def _counter(self, key: str) -> Counter:
+        inst = self._registry.get(key)
+        if not isinstance(inst, Counter) or inst.labels:
+            raise KeyError(key)
+        return inst
+
+    def __getitem__(self, key: str) -> float:
+        return self._counter(key).value
+
+    def __setitem__(self, key: str, value: float) -> None:
+        warnings.warn(
+            "writing Simulator.counters directly is deprecated; use "
+            "sim.metrics.counter(name).inc() / sim.count()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._registry.counter(key)._force(value)
+
+    def __delitem__(self, key: str) -> None:
+        warnings.warn(
+            "deleting from Simulator.counters is deprecated; counters are "
+            "registry-owned",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._counter(key)  # raise KeyError if absent
+        self._registry.remove(key)
+
+    def __iter__(self) -> Iterator[str]:
+        for inst in self._registry.instruments():
+            if isinstance(inst, Counter) and not inst.labels:
+                yield inst.name
+
+    def __len__(self) -> int:
+        return sum(1 for _ in iter(self))
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
+
+
+class StatGroupView(Mapping):
+    """Read-only integer mapping over a fixed group of counters.
+
+    ``RedPlaneEngine.stats`` and the state-store node statistics are
+    published as registry counters; this view preserves the old dict
+    reading surface (``eng.stats["app_packets"]``, ``dict(eng.stats)``)
+    with the integer values the old code produced.
+    """
+
+    def __init__(self, counters: Dict[str, Counter]) -> None:
+        self._counters = counters
+
+    def __getitem__(self, key: str) -> int:
+        return int(self._counters[key].value)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __repr__(self) -> str:
+        return repr({k: int(c.value) for k, c in self._counters.items()})

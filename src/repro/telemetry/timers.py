@@ -1,0 +1,64 @@
+"""Wall-clock scoped timers for profiling the event-loop hot path.
+
+Everything else in the reproduction runs on simulated time; this is the
+one sanctioned use of the wall clock, for answering "how many simulated
+events per wall-second does this machine execute" (the
+``benchmarks/test_perf_eventloop.py`` baseline). Timer results may feed a
+:class:`~repro.telemetry.metrics.Histogram`, but never a metric that a
+paper figure reads — wall clock must not leak into reported physics.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.telemetry.metrics import Histogram
+
+
+class ScopedTimer:
+    """Context manager measuring elapsed wall-clock time.
+
+    Usage::
+
+        with ScopedTimer("drain") as t:
+            sim.run_until_idle()
+        print(t.elapsed_s, t.rate(sim.events_executed))
+
+    Pass ``histogram=`` to record the elapsed microseconds on exit, e.g.
+    for repeated-section profiling.
+    """
+
+    __slots__ = ("name", "histogram", "_start", "elapsed_s")
+
+    def __init__(self, name: str = "", histogram: Optional[Histogram] = None) -> None:
+        self.name = name
+        self.histogram = histogram
+        self._start: Optional[float] = None
+        self.elapsed_s = 0.0
+
+    def __enter__(self) -> "ScopedTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def stop(self) -> float:
+        """Freeze the timer (idempotent); returns elapsed seconds."""
+        if self._start is not None:
+            self.elapsed_s = time.perf_counter() - self._start
+            self._start = None
+            if self.histogram is not None:
+                self.histogram.observe(self.elapsed_us)
+        return self.elapsed_s
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.elapsed_s * 1e6
+
+    def rate(self, count: float) -> float:
+        """``count`` per wall-second (0 if the scope took no measurable time)."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return count / self.elapsed_s

@@ -1,0 +1,162 @@
+"""Typed, sim-timestamped trace records in a bounded ring buffer.
+
+A :class:`Tracer` is owned by the simulator and shared by every component
+of a run. Emitting is cheap (one object + one deque append) so the hot
+paths — link transmits, protocol transitions — trace unconditionally; the
+ring bounds memory and the optional JSONL sink streams records to disk
+for offline analysis (``python -m repro.tools trace`` prints the tail).
+
+Record timestamps are *simulated* microseconds, never wall clock, and
+every field comes from deterministic run state — so two runs with the
+same seed produce byte-identical trace streams (tested).
+
+The trace vocabulary (see docs/TELEMETRY.md for the full field schema):
+
+=====================  ====================================================
+type                   emitted when
+=====================  ====================================================
+``packet.send``        a link serializes a packet toward the far end
+``packet.drop``        a packet dies (loss, down link, queue, dead node)
+``packet.reorder``     a link delays a packet past its successors
+``lease.request``      a switch asks the store for a flow's lease
+``lease.grant``        a lease (plus migrated state) is installed
+``lease.renew``        an explicit renewal is sent
+``lease.expiry``       a switch notices its own lease has lapsed
+``retransmit``         a circulating mirror copy times out and resends
+``snapshot``           one snapshot slot value ships to the store
+``failover``           a store chain is rewired around a dead node
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, TextIO
+
+PACKET_SEND = "packet.send"
+PACKET_DROP = "packet.drop"
+PACKET_REORDER = "packet.reorder"
+LEASE_REQUEST = "lease.request"
+LEASE_GRANT = "lease.grant"
+LEASE_RENEW = "lease.renew"
+LEASE_EXPIRY = "lease.expiry"
+RETRANSMIT = "retransmit"
+SNAPSHOT = "snapshot"
+FAILOVER = "failover"
+
+
+@dataclass
+class TraceRecord:
+    """One trace event: a type, a simulated timestamp, and typed fields."""
+
+    ts: float
+    type: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"ts": self.ts, "type": self.type, "fields": self.fields},
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceRecord":
+        raw = json.loads(line)
+        return cls(ts=raw["ts"], type=raw["type"], fields=raw.get("fields", {}))
+
+
+class Tracer:
+    """Bounded trace ring with an optional JSONL sink.
+
+    Parameters
+    ----------
+    clock:
+        Returns the current *simulated* time; the simulator passes its own
+        ``now``. Wall-clock time must never enter a record.
+    maxlen:
+        Ring capacity. Old records fall off the front; ``records_emitted``
+        keeps counting so truncation is detectable.
+    """
+
+    def __init__(self, clock: Callable[[], float], maxlen: int = 65536) -> None:
+        self._clock = clock
+        self.maxlen = maxlen
+        self.enabled = True
+        self.records_emitted = 0
+        self._ring: Deque[TraceRecord] = deque(maxlen=maxlen)
+        self._sink: Optional[TextIO] = None
+        self._sink_owned = False
+
+    def emit(self, type_: str, **fields: Any) -> None:
+        """Record one event at the current simulated time."""
+        if not self.enabled:
+            return
+        record = TraceRecord(self._clock(), type_, fields)
+        self.records_emitted += 1
+        self._ring.append(record)
+        if self._sink is not None:
+            self._sink.write(record.to_json() + "\n")
+
+    # -- reading --------------------------------------------------------------
+
+    def tail(self, n: Optional[int] = None) -> List[TraceRecord]:
+        """The most recent ``n`` records (all retained records if None)."""
+        if n is not None and n <= 0:
+            return []
+        if n is None or n >= len(self._ring):
+            return list(self._ring)
+        return list(self._ring)[-n:]
+
+    def records_of(self, type_: str) -> List[TraceRecord]:
+        return [r for r in self._ring if r.type == type_]
+
+    @property
+    def records_dropped(self) -> int:
+        """Emitted records no longer retained (ring truncation)."""
+        return self.records_emitted - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    # -- JSONL sink ------------------------------------------------------------
+
+    def open_sink(self, path: str) -> None:
+        """Stream every future record to ``path`` as one JSON object/line."""
+        self.close_sink()
+        self._sink = open(path, "w")
+        self._sink_owned = True
+
+    def set_sink(self, stream: Optional[TextIO]) -> None:
+        """Attach an already-open stream (caller keeps ownership)."""
+        self.close_sink()
+        self._sink = stream
+        self._sink_owned = False
+
+    def close_sink(self) -> None:
+        if self._sink is not None and self._sink_owned:
+            self._sink.close()
+        self._sink = None
+        self._sink_owned = False
+
+    def flush_to(self, path: str) -> int:
+        """Write the currently retained records to ``path``; returns count."""
+        with open(path, "w") as fh:
+            for record in self._ring:
+                fh.write(record.to_json() + "\n")
+        return len(self._ring)
+
+
+def read_jsonl(path: str) -> List[TraceRecord]:
+    """Load a JSONL trace file back into records (round-trip tested)."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(TraceRecord.from_json(line))
+    return records

@@ -5,16 +5,25 @@ Usage::
     python -m repro.tools list              # inventory of experiments
     python -m repro.tools run fig8          # one experiment
     python -m repro.tools run all           # everything (slow)
+    python -m repro.tools metrics           # telemetry snapshot of a demo run
+    python -m repro.tools trace --tail 20   # trace tail of a demo run
 
 Each experiment is a pytest benchmark under ``benchmarks/``; the runner
 invokes pytest with the right selection so the printed rows land on
 stdout. This is the command EXPERIMENTS.md points at for every number it
 quotes.
+
+``metrics`` and ``trace`` run the quickstart scenario (SyncCounterApp on
+the paper testbed, one flow, a switch failure and lease migration)
+in-process and read the resulting :class:`~repro.telemetry.MetricRegistry`
+/ :class:`~repro.telemetry.Tracer` — a one-command look at what the
+telemetry spine records.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import subprocess
 import sys
@@ -85,6 +94,74 @@ def run_experiment(name: str, extra_args: Optional[List[str]] = None) -> int:
     return subprocess.call(cmd)
 
 
+def demo_run(seed: int = 7, packets: int = 10, fail_owner: bool = True):
+    """Run the quickstart scenario in-process; returns the simulator.
+
+    Deploys :class:`~repro.apps.counter.SyncCounterApp` on the paper
+    testbed, pushes one flow through it, optionally fails the owning
+    switch (exercising lease migration and store traffic), then asks each
+    engine to publish its resource gauges — so the registry ends up with
+    a representative population of counters, gauges, and histograms.
+    """
+    from repro import Simulator, deploy
+    from repro.apps.counter import SyncCounterApp
+    from repro.net.packet import Packet
+
+    sim = Simulator(seed=seed)
+    dep = deploy(sim, SyncCounterApp)
+    sender = dep.bed.externals[0]
+    receiver = dep.bed.servers[0]
+
+    def send_packet() -> None:
+        sender.send(Packet.udp(sender.ip, receiver.ip, 5555, 7777))
+
+    for i in range(packets):
+        sim.schedule(i * 200.0, send_packet)
+    sim.run_until_idle()
+
+    if fail_owner:
+        owner = max(dep.engines.values(),
+                    key=lambda e: e.stats["app_packets"])
+        dep.bed.topology.fail_node(owner.switch)
+        sim.run(until=sim.now + 400_000)
+        for i in range(packets):
+            sim.schedule(i * 200.0, send_packet)
+        sim.run_until_idle()
+
+    for engine in dep.engines.values():
+        engine.resource_usage()
+    return sim
+
+
+def show_metrics(seed: int, packets: int, as_json: bool) -> int:
+    sim = demo_run(seed=seed, packets=packets)
+    if as_json:
+        print(json.dumps(sim.metrics.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(sim.metrics.render())
+    return 0
+
+
+def show_trace(seed: int, packets: int, tail: int, as_json: bool,
+               out: Optional[str]) -> int:
+    sim = demo_run(seed=seed, packets=packets)
+    if out:
+        written = sim.tracer.flush_to(out)
+        print(f"wrote {written} records to {out}", file=sys.stderr)
+    emitted = sim.tracer.records_emitted
+    retained = len(sim.tracer)
+    print(f"# {emitted} records emitted, {retained} retained "
+          f"(ring maxlen {sim.tracer.maxlen}); showing last {tail}",
+          file=sys.stderr)
+    for record in sim.tracer.tail(tail):
+        if as_json:
+            print(record.to_json())
+        else:
+            fields = " ".join(f"{k}={v}" for k, v in record.fields.items())
+            print(f"{record.ts:14.3f}  {record.type:<16s}  {fields}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools",
@@ -95,6 +172,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("experiment", help="fig8..fig15, table1, table2, "
                                                "appc, ablation-*, or all")
+    metrics_parser = sub.add_parser(
+        "metrics", help="run the quickstart scenario and dump its metrics")
+    trace_parser = sub.add_parser(
+        "trace", help="run the quickstart scenario and print its trace tail")
+    for p in (metrics_parser, trace_parser):
+        p.add_argument("--seed", type=int, default=7,
+                       help="simulator seed (default 7)")
+        p.add_argument("--packets", type=int, default=10,
+                       help="packets per phase (default 10)")
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    trace_parser.add_argument("--tail", type=int, default=40,
+                              help="records to print (default 40)")
+    trace_parser.add_argument("--out", metavar="PATH",
+                              help="also write the retained records as JSONL")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -102,6 +194,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         for key, (_file, description) in EXPERIMENTS.items():
             print(f"{key.ljust(width)}  {description}")
         return 0
+    if args.command == "metrics":
+        return show_metrics(args.seed, args.packets, args.json)
+    if args.command == "trace":
+        return show_trace(args.seed, args.packets, args.tail, args.json,
+                          args.out)
     return run_experiment(args.experiment)
 
 

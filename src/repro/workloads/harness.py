@@ -47,6 +47,9 @@ class RttProbe:
         self.sim: Simulator = host.sim
         self._sent_at: Dict[int, float] = {}
         self.rtts_us: List[float] = []
+        self._h_rtt = self.sim.metrics.histogram(
+            "probe.rtt_us", host=host.name
+        )
         self.unmatched = 0
         host.default_handler = self._on_reply
 
@@ -65,7 +68,9 @@ class RttProbe:
         if sent is None:
             self.unmatched += 1
             return
-        self.rtts_us.append(self.sim.now - sent)
+        rtt = self.sim.now - sent
+        self.rtts_us.append(rtt)
+        self._h_rtt.observe(rtt)
 
     @property
     def lost(self) -> int:
