@@ -1,0 +1,28 @@
+"""Deterministic chaos engine: seeded fault-injection campaigns with
+always-on invariant auditing and linearizability checking.
+
+Gray failures (corruption, duplication, jitter, asymmetric partitions,
+degraded bandwidth), store crashes with mid-propagation chain repair,
+and lease-expiry races — composed into named campaigns whose verdict
+reports are byte-identical across same-seed runs.
+
+Run one from the CLI: ``python -m repro.tools chaos <campaign>``.
+"""
+
+from repro.chaos.campaigns import CAMPAIGNS, Campaign
+from repro.chaos.runner import (
+    render_report,
+    run_campaign,
+    verdict_json,
+)
+from repro.chaos.workload import CounterWorkload, EchoCounterApp
+
+__all__ = [
+    "CAMPAIGNS",
+    "Campaign",
+    "CounterWorkload",
+    "EchoCounterApp",
+    "render_report",
+    "run_campaign",
+    "verdict_json",
+]

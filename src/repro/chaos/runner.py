@@ -1,0 +1,228 @@
+"""Campaign execution and verdict reports.
+
+``run_campaign`` deploys a fresh testbed, arms the always-on auditors
+(:class:`repro.model.monitors.InvariantMonitor` plus the per-flow
+linearizability checker over the real packet history), injects the
+campaign's faults, and distills the run into a machine-readable verdict
+report. The report is a plain dict of JSON-safe values;
+:func:`verdict_json` serializes it canonically (sorted keys), so two
+runs with the same seed must produce byte-identical reports — that
+round-trip IS the determinism regression test the CI smoke job runs.
+
+Verdict: ``PASS`` iff every invariant held over every sample, the
+delivered history is linearizable, and the workload made progress.
+Fault-induced losses are fine (§4.2 permits lost inputs/outputs);
+safety violations and consistency breaks are not.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.chaos.campaigns import CAMPAIGNS, Campaign
+from repro.chaos.workload import CounterWorkload, EchoCounterApp
+from repro.core.engine import RedPlaneConfig
+from repro.deploy import deploy
+from repro.model.linearizability import check_counter_history
+from repro.model.monitors import InvariantMonitor
+from repro.net.simulator import Simulator
+from repro.statestore.failover import StoreFailoverCoordinator
+from repro.telemetry.metrics import percentile
+from repro.workloads.failures import FailureSchedule
+
+#: Extra simulated time after the main phase for retransmissions,
+#: buffered packets, and chain traffic to drain.
+DRAIN_US = 500_000.0
+
+#: Fault kinds that end a fault (ignored when measuring recovery).
+_CLEAR_KINDS = frozenset(
+    {"recover_node", "recover_link", "clear_link", "restore_store"}
+)
+
+
+def run_campaign(name: str, seed: int = 42) -> Dict[str, object]:
+    """Run one named campaign and return its verdict report."""
+    try:
+        campaign = CAMPAIGNS[name]
+    except KeyError:
+        known = ", ".join(sorted(CAMPAIGNS))
+        raise KeyError(f"unknown campaign {name!r}; known: {known}") from None
+
+    sim = Simulator(seed=seed)
+    config_kwargs = {"lease_period_us": campaign.lease_period_us}
+    if campaign.retransmit_timeout_us is not None:
+        config_kwargs["retransmit_timeout_us"] = campaign.retransmit_timeout_us
+    dep = deploy(sim, EchoCounterApp, config=RedPlaneConfig(**config_kwargs))
+
+    monitor = InvariantMonitor(
+        sim, dep.stores, engines=list(dep.engines.values()),
+        interval_us=5_000.0, track_monotonic_values=True,
+    )
+    monitor.start()
+    coordinator: Optional[StoreFailoverCoordinator] = None
+    if campaign.coordinator:
+        coordinator = StoreFailoverCoordinator(
+            sim, dep.shard_map, dep.chains, switches=dep.bed.aggs,
+            heartbeat_interval_us=campaign.heartbeat_interval_us,
+        )
+        coordinator.start()
+
+    workload = CounterWorkload(
+        dep, packets=campaign.packets, gap_us=campaign.gap_us,
+        start_us=10_000.0,
+    )
+    workload.start()
+
+    schedule = FailureSchedule(dep, detect_delay_us=campaign.detect_delay_us)
+    if campaign.build is not None:
+        campaign.build(schedule)
+
+    sim.run(until=campaign.duration_us)
+    monitor.stop()
+    if coordinator is not None:
+        coordinator.stop()
+    sim.run(until=campaign.duration_us + DRAIN_US)
+
+    return _build_report(campaign, seed, dep, workload, schedule, monitor,
+                         coordinator)
+
+
+def _recovery_latencies(schedule: FailureSchedule,
+                        deliveries: List[float]) -> Dict[str, object]:
+    """Time from each fault injection to the next successful delivery."""
+    latencies: List[float] = []
+    unrecovered = 0
+    for fault in schedule.log:
+        if fault.kind in _CLEAR_KINDS:
+            continue
+        after = [t for t in deliveries if t > fault.time_us]
+        if after:
+            latencies.append(after[0] - fault.time_us)
+        else:
+            unrecovered += 1
+    summary: Dict[str, object] = {
+        "events": len(latencies),
+        "unrecovered": unrecovered,
+    }
+    if latencies:
+        summary.update(
+            p50_us=round(percentile(latencies, 50.0), 3),
+            p90_us=round(percentile(latencies, 90.0), 3),
+            p99_us=round(percentile(latencies, 99.0), 3),
+            max_us=round(max(latencies), 3),
+        )
+    return summary
+
+
+def _build_report(
+    campaign: Campaign,
+    seed: int,
+    dep,
+    workload: CounterWorkload,
+    schedule: FailureSchedule,
+    monitor: InvariantMonitor,
+    coordinator: Optional[StoreFailoverCoordinator],
+) -> Dict[str, object]:
+    metrics = dep.sim.metrics
+    values = workload.delivered_values()
+    linearizable = check_counter_history(workload.history())
+    invariants_held = monitor.ok()
+    progressed = workload.delivered > 0
+    verdict = "PASS" if (invariants_held and linearizable and progressed) \
+        else "FAIL"
+
+    counters = {
+        "retransmissions": int(metrics.total("redplane.retransmissions")),
+        "acks_received": int(metrics.total("redplane.acks_received")),
+        "stale_acks_ignored": int(
+            metrics.total("redplane.stale_acks_ignored")),
+        "lease_requests": int(metrics.total("redplane.lease_requests")),
+        "store_stale_rejections": int(
+            metrics.total("store.updates_rejected_stale")),
+        "chain_repairs": int(metrics.total("store.chain_repairs")),
+        "chain_reconfigurations": int(
+            metrics.total("store.chain_reconfigurations")),
+        "link_drops_partition": int(metrics.value("link.drops.partition")),
+        "link_drops_corrupt": int(metrics.value("link.drops.corrupt")),
+        "link_drops_gray_loss": int(metrics.value("link.drops.gray_loss")),
+        "link_frames_duplicated": int(metrics.total("link.duplicated")),
+    }
+
+    return {
+        "schema": 1,
+        "campaign": campaign.name,
+        "description": campaign.description,
+        "seed": seed,
+        "duration_us": campaign.duration_us,
+        "faults": schedule.detailed_summary(),
+        "traffic": {
+            "sent": campaign.packets,
+            "delivered": workload.delivered,
+            "final_count": max(values) if values else 0,
+            "duplicate_values": len(values) - len(set(values)),
+        },
+        "invariants": {
+            "held": invariants_held,
+            "samples": monitor.samples,
+            "violations": [
+                {"time_us": v.time_us, "invariant": v.invariant,
+                 "detail": v.detail}
+                for v in monitor.violations
+            ],
+        },
+        "linearizable": linearizable,
+        "recovery_latency_us": _recovery_latencies(
+            schedule, workload.delivery_times()),
+        "counters": counters,
+        "verdict": verdict,
+    }
+
+
+def verdict_json(report: Dict[str, object]) -> str:
+    """Canonical serialization: byte-identical for identical runs."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a verdict report."""
+    traffic = report["traffic"]
+    invariants = report["invariants"]
+    recovery = report["recovery_latency_us"]
+    counters = report["counters"]
+    lines = [
+        f"campaign   : {report['campaign']} (seed {report['seed']})",
+        f"verdict    : {report['verdict']}",
+        f"traffic    : {traffic['delivered']}/{traffic['sent']} delivered, "
+        f"final count {traffic['final_count']}, "
+        f"{traffic['duplicate_values']} duplicated values",
+        f"invariants : {'held' if invariants['held'] else 'VIOLATED'} "
+        f"over {invariants['samples']} samples "
+        f"({len(invariants['violations'])} violations)",
+        f"linearizable: {'yes' if report['linearizable'] else 'NO'}",
+        "faults     :",
+    ]
+    for fault in report["faults"]:
+        detail = f" [{fault['detail']}]" if fault["detail"] else ""
+        lines.append(
+            f"  t={fault['time_us'] / 1000.0:8.1f}ms {fault['kind']:<14} "
+            f"{fault['target']}{detail}"
+        )
+    if recovery.get("events"):
+        lines.append(
+            f"recovery   : p50 {recovery['p50_us'] / 1000.0:.1f}ms  "
+            f"p99 {recovery['p99_us'] / 1000.0:.1f}ms  "
+            f"max {recovery['max_us'] / 1000.0:.1f}ms "
+            f"({recovery['events']} faults, "
+            f"{recovery['unrecovered']} unrecovered)"
+        )
+    interesting = {k: v for k, v in counters.items() if v}
+    if interesting:
+        lines.append("counters   : " + ", ".join(
+            f"{k}={v}" for k, v in sorted(interesting.items())))
+    for violation in invariants["violations"][:10]:
+        lines.append(
+            f"  VIOLATION t={violation['time_us']:.1f}us "
+            f"{violation['invariant']}: {violation['detail']}"
+        )
+    return "\n".join(lines)

@@ -31,11 +31,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple, cast
 
 from repro.net import constants
 from repro.net.packet import FlowKey, Packet, UDPHeader
 from repro.switch.asic import SwitchASIC
+from repro.switch.mirror import MirrorCopy
 from repro.switch.pipeline import ControlBlock, PipelineContext
 from repro.switch.registers import RegisterArray
 from repro.core.app import AppVerdict, InSwitchApp
@@ -103,6 +104,26 @@ class HistoryEvent:
     info: Tuple = ()
 
 
+@dataclass
+class RetransmitState:
+    """Backoff state of one circulating truncated request copy (§5.2).
+
+    Lives on the mirror copy's metadata under the ``"rtx"`` slot and is
+    the single mutable record the retransmitter reads and writes each
+    egress pass. Inspectable through
+    :meth:`RedPlaneEngine.retransmit_states`, which is how chaos verdict
+    reports show what a campaign left in flight.
+    """
+
+    kind: str             # "write" | "lease_new" | "renew" | "snapshot"
+    idx: int              # flow register index (-1 for snapshot copies)
+    seq: int              # sequence the acknowledgment must reach
+    msg: RedPlaneMessage  # header-only request resent on timeout
+    sent_at: float        # simulated time of the last (re)send
+    timeout_us: float     # current deadline (grows by the backoff factor)
+    resends: int = 0      # timeouts fired so far (storm observability)
+
+
 class RedPlaneEngine(ControlBlock):
     """RedPlane-enabled application: protocol engine wrapping an app."""
 
@@ -155,10 +176,10 @@ class RedPlaneEngine(ControlBlock):
         # Circulating mirror copies, released as their acks arrive: the
         # hardware drops an acknowledged copy on its next egress pass; the
         # simulator collapses that to an immediate release.
-        self._copies_write: Dict[int, Dict[int, object]] = {}
-        self._copy_lease: Dict[int, object] = {}
-        self._copy_renew: Dict[int, object] = {}
-        self._copies_snapshot: Dict[Tuple[FlowKey, int], object] = {}
+        self._copies_write: Dict[int, Dict[int, MirrorCopy]] = {}
+        self._copy_lease: Dict[int, MirrorCopy] = {}
+        self._copy_renew: Dict[int, MirrorCopy] = {}
+        self._copies_snapshot: Dict[Tuple[FlowKey, int], MirrorCopy] = {}
 
         self.history: List[HistoryEvent] = []
         # Protocol statistics live in the run's metric registry, one
@@ -398,7 +419,7 @@ class RedPlaneEngine(ControlBlock):
 
         if msg.msg_type is MessageType.SNAPSHOT_REPL_ACK:
             copy = self._copies_snapshot.get((msg.flow_key, msg.aux))
-            if copy is not None and copy.meta.get("seq", 0) <= msg.seq:
+            if copy is not None and self._rtx_of(copy).seq <= msg.seq:
                 self.mirror.release(copy)
                 del self._copies_snapshot[(msg.flow_key, msg.aux)]
             if self.snapshot_ack_handler is not None:
@@ -431,7 +452,7 @@ class RedPlaneEngine(ControlBlock):
     ) -> None:
         copy = self._copy_lease.pop(idx, None)
         if copy is not None:
-            self._h_ack_rtt.observe(now - float(copy.meta["ts"]))
+            self._h_ack_rtt.observe(now - self._rtx_of(copy).sent_at)
             self.mirror.release(copy)
         was_pending = self.reg_lease_pending.access(ctx, idx, lambda old: (0, old))
         if was_pending:
@@ -487,7 +508,7 @@ class RedPlaneEngine(ControlBlock):
         if copies:
             for seq in [s for s in copies if s <= msg.seq]:
                 copy = copies.pop(seq)
-                self._h_ack_rtt.observe(now - float(copy.meta["ts"]))
+                self._h_ack_rtt.observe(now - self._rtx_of(copy).sent_at)
                 self.mirror.release(copy)
         self._extend_lease(ctx, idx, now)
         if msg.piggyback is not None:
@@ -577,17 +598,15 @@ class RedPlaneEngine(ControlBlock):
         pkt = make_protocol_packet(
             self.switch.ip, shard.ip, header_only, dport=shard.udp_port
         )
-        copy = self.mirror.mirror(
-            pkt,
-            meta={
-                "kind": kind,
-                "idx": idx,
-                "seq": seq,
-                "ts": self.switch.sim.now,
-                "timeout": self.config.retransmit_timeout_us,
-                "msg": header_only,
-            },
+        rtx = RetransmitState(
+            kind=kind,
+            idx=idx,
+            seq=seq,
+            msg=header_only,
+            sent_at=self.switch.sim.now,
+            timeout_us=self.config.retransmit_timeout_us,
         )
+        copy = self.mirror.mirror(pkt, meta={"rtx": rtx})
         if kind == "write":
             self._copies_write.setdefault(idx, {})[seq] = copy
         elif kind == "lease_new":
@@ -599,52 +618,51 @@ class RedPlaneEngine(ControlBlock):
 
     def _mirror_pass(self, pkt: Packet, meta: Dict[str, object]) -> bool:
         """One egress pass of a circulating truncated request copy."""
+        rtx = cast(RetransmitState, meta["rtx"])
         ctx = PipelineContext(pkt=pkt, now=self.switch.sim.now)
-        if self._mirror_acked(ctx, meta):
+        if self._mirror_acked(ctx, rtx):
             return False
         now = self.switch.sim.now
-        timeout = float(meta["timeout"])  # type: ignore[arg-type]
-        if now - float(meta["ts"]) >= timeout:  # type: ignore[arg-type]
-            msg: RedPlaneMessage = meta["msg"]  # type: ignore[assignment]
-            self._send_request(None, msg)
+        if now - rtx.sent_at >= rtx.timeout_us:
+            self._send_request(None, rtx.msg)
             self._c["retransmissions"].inc()
             self.tracer.emit(
                 tt.RETRANSMIT,
                 switch=self.switch.name,
-                kind=str(meta["kind"]),
-                flow=str(msg.flow_key),
-                seq=msg.seq,
-                timeout_us=timeout,
+                kind=rtx.kind,
+                flow=str(rtx.msg.flow_key),
+                seq=rtx.msg.seq,
+                timeout_us=rtx.timeout_us,
             )
-            meta["ts"] = now
-            meta["timeout"] = min(
-                timeout * self.config.retransmit_backoff,
+            rtx.sent_at = now
+            rtx.resends += 1
+            rtx.timeout_us = min(
+                rtx.timeout_us * self.config.retransmit_backoff,
                 self.config.retransmit_timeout_max_us,
             )
         # Skip the no-op recirculation passes until the deadline.
-        meta["next_pass_us"] = max(
-            0.0, float(meta["ts"]) + float(meta["timeout"]) - now
-        )
+        meta["next_pass_us"] = max(0.0, rtx.sent_at + rtx.timeout_us - now)
         return True
 
-    def _mirror_acked(self, ctx: PipelineContext, meta: Dict[str, object]) -> bool:
-        kind = meta["kind"]
-        idx = int(meta["idx"])  # type: ignore[arg-type]
-        if kind == "write":
-            return self.reg_last_acked.read(ctx, idx) >= int(meta["seq"])  # type: ignore[arg-type]
-        if kind == "lease_new":
-            return self.reg_lease_pending.read(ctx, idx) == 0
-        if kind == "renew":
-            return idx not in self._renew_outstanding
-        if kind == "snapshot":
+    def _mirror_acked(self, ctx: PipelineContext, rtx: RetransmitState) -> bool:
+        if rtx.kind == "write":
+            return self.reg_last_acked.read(ctx, rtx.idx) >= rtx.seq
+        if rtx.kind == "lease_new":
+            return self.reg_lease_pending.read(ctx, rtx.idx) == 0
+        if rtx.kind == "renew":
+            return rtx.idx not in self._renew_outstanding
+        if rtx.kind == "snapshot":
             if self.snapshot_ack_handler is None:
                 return True
-            msg: RedPlaneMessage = meta["msg"]  # type: ignore[assignment]
             acked = getattr(self.snapshot_ack_handler, "is_acked", None)
             if acked is None:
                 return True
-            return acked(msg)
-        raise AssertionError(f"unknown mirror kind {kind!r}")
+            return acked(rtx.msg)
+        raise AssertionError(f"unknown mirror kind {rtx.kind!r}")
+
+    @staticmethod
+    def _rtx_of(copy: MirrorCopy) -> RetransmitState:
+        return cast(RetransmitState, copy.meta["rtx"])
 
     # ------------------------------------------------------------------
     # misc helpers
@@ -779,6 +797,39 @@ class RedPlaneEngine(ControlBlock):
         if idx is None:
             return False
         return self.reg_lease_expiry.cp_read(idx) > self.switch.sim.now
+
+    def retransmit_states(self) -> List[RetransmitState]:
+        """Backoff state of every circulating request copy, oldest first."""
+        states: List[RetransmitState] = []
+        for copies in self._copies_write.values():
+            states.extend(self._rtx_of(c) for c in copies.values())
+        states.extend(self._rtx_of(c) for c in self._copy_lease.values())
+        states.extend(self._rtx_of(c) for c in self._copy_renew.values())
+        states.extend(self._rtx_of(c) for c in self._copies_snapshot.values())
+        return sorted(states, key=lambda s: (s.sent_at, s.kind, s.idx, s.seq))
+
+    def expire_lease_now(self, key: Optional[FlowKey] = None) -> int:
+        """Chaos hook: make the switch-side lease view lapse immediately.
+
+        Models a local clock glitch or a renewal that never landed. The
+        switch-side expiry is already conservative (margin below the
+        store's grant, §5.3), so forcing it early can only cause extra
+        lease re-acquisition traffic — the lease-race paths — never a
+        safety violation; the store still arbitrates ownership. Returns
+        the number of flow entries whose lease was expired.
+        """
+        if key is not None:
+            idx = self._flow_idx.get(key)
+            targets = [] if idx is None else [idx]
+        else:
+            targets = list(self._flow_idx.values())
+        now = self.switch.sim.now
+        expired = 0
+        for idx in targets:
+            if self.reg_lease_expiry.cp_read(idx) > now:
+                self.reg_lease_expiry.cp_write(idx, int(now))
+                expired += 1
+        return expired
 
     def resource_usage(self) -> Dict[str, float]:
         """RedPlane's *additional* ASIC resources (Table 2 inventory).

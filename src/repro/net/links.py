@@ -4,16 +4,74 @@ A :class:`Link` connects two :class:`Port` objects and models one-way
 propagation latency, store-and-forward serialization delay, random loss,
 and reordering. Links can be administratively or fault-injected down; a
 packet entering a down link is silently dropped, exactly like a cut fiber.
+
+Beyond clean fail-stop, a link direction can carry a
+:class:`LinkImpairment` — the *gray failure* modes that production link
+studies (LinkGuardian) show are the hard case precisely because routing
+does not react to them: extra random loss, FCS corruption (the frame
+crosses the wire, burns bandwidth, and is discarded by the receiving
+MAC), duplication, delay jitter, degraded line rate, and one-way
+blackholing (asymmetric partition). Impairments are per *direction* (keyed
+by the sending port), drawn from the simulator's seeded RNG, and leave
+routing beliefs untouched.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.net import constants
 from repro.net.packet import Packet
 from repro.net.simulator import Simulator
 from repro.telemetry import trace as tt
+
+
+@dataclass
+class LinkImpairment:
+    """Gray-failure parameters for one direction of a link.
+
+    All probabilities are per transmitted packet; a zeroed impairment is
+    indistinguishable from a healthy direction.
+    """
+
+    #: Additional random loss on top of the link's base ``loss_rate``.
+    drop_rate: float = 0.0
+    #: FCS corruption: the frame is serialized and delivered, then dropped
+    #: by the receiving MAC — bandwidth is spent, the packet is not.
+    corrupt_rate: float = 0.0
+    #: The frame is duplicated on the wire (both copies delivered).
+    duplicate_rate: float = 0.0
+    #: Uniform extra propagation delay in ``[0, jitter_us]`` per packet.
+    jitter_us: float = 0.0
+    #: Line-rate multiplier in ``(0, 1]``; e.g. 0.1 = link degraded to 10%.
+    bandwidth_scale: float = 1.0
+    #: One-way blackhole: every packet in this direction dies silently
+    #: (asymmetric partition — the reverse direction still works).
+    blocked: bool = False
+
+    def __post_init__(self) -> None:
+        for rate_name in ("drop_rate", "corrupt_rate", "duplicate_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{rate_name} must be in [0, 1], got {rate}")
+        if self.jitter_us < 0.0:
+            raise ValueError("jitter_us must be non-negative")
+        if not 0.0 < self.bandwidth_scale <= 1.0:
+            raise ValueError("bandwidth_scale must be in (0, 1]")
+
+    def describe(self) -> str:
+        """Compact ``key=value`` summary of the non-default fields."""
+        parts = []
+        if self.blocked:
+            parts.append("blocked")
+        for attr, default in (("drop_rate", 0.0), ("corrupt_rate", 0.0),
+                              ("duplicate_rate", 0.0), ("jitter_us", 0.0),
+                              ("bandwidth_scale", 1.0)):
+            value = getattr(self, attr)
+            if value != default:
+                parts.append(f"{attr}={value:g}")
+        return ",".join(parts) or "healthy"
 
 
 class Node:
@@ -119,9 +177,12 @@ class Link:
             for pid, d in self._dir_names.items()
         }
         self._ctr_queue_drops = m.counter("link.queue_drops", link=self.name)
+        self._ctr_duplicated = m.counter("link.duplicated", link=self.name)
         #: Per-direction transmit-queue drain time: packets serialize one
         #: after another, so a burst queues (and TCP sees real bandwidth).
         self._busy_until: Dict[int, float] = {id(a): 0.0, id(b): 0.0}
+        #: Per-direction gray-failure impairments, keyed by sending-port id.
+        self._impairments: Dict[int, LinkImpairment] = {}
         #: Optional taps invoked for every transmitted packet: fn(pkt, src_port).
         self.taps: List[Callable[[Packet, Port], None]] = []
 
@@ -154,6 +215,11 @@ class Link:
             return
         dst_port = self.other_end(src_port)
         key = id(src_port)
+        impairment = self._impairments.get(key)
+        if impairment is not None and impairment.blocked:
+            # Asymmetric partition: this direction is a silent blackhole.
+            self._drop(pkt, src_port, "partition")
+            return
         self._ctr_tx_bytes[key].inc(pkt.byte_size())
         self._ctr_tx_packets[key].inc()
         for tap in self.taps:
@@ -161,19 +227,37 @@ class Link:
         if self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
             self._drop(pkt, src_port, "loss")
             return
+        rate_gbps = self.bandwidth_gbps
+        corrupted = False
+        duplicated = False
+        jitter_us = 0.0
+        if impairment is not None:
+            if (impairment.drop_rate > 0.0
+                    and self.sim.rng.random() < impairment.drop_rate):
+                self._drop(pkt, src_port, "gray_loss")
+                return
+            rate_gbps *= impairment.bandwidth_scale
+            if impairment.corrupt_rate > 0.0:
+                corrupted = self.sim.rng.random() < impairment.corrupt_rate
+            if impairment.duplicate_rate > 0.0:
+                duplicated = self.sim.rng.random() < impairment.duplicate_rate
+            if impairment.jitter_us > 0.0:
+                jitter_us = self.sim.rng.random() * impairment.jitter_us
         # Store-and-forward with per-direction serialization queueing.
         backlog_us = max(0.0, self._busy_until[key] - self.sim.now)
         if self.queue_limit_bytes is not None:
-            backlog_bytes = backlog_us * self.bandwidth_gbps * 1000.0 / 8.0
+            backlog_bytes = backlog_us * rate_gbps * 1000.0 / 8.0
             if backlog_bytes + pkt.byte_size() > self.queue_limit_bytes:
                 # Tail drop: the transmit queue is full.
                 self._ctr_queue_drops.inc()
                 self._drop(pkt, src_port, "queue")
                 return
+        copies = 2 if duplicated else 1
+        ser_us = (pkt.byte_size() * 8) / (rate_gbps * 1000.0)
         start = max(self.sim.now, self._busy_until[key])
-        finish = start + self.serialization_delay_us(pkt)
+        finish = start + ser_us * copies
         self._busy_until[key] = finish
-        delay = (finish - self.sim.now) + self.latency_us
+        delay = (start + ser_us - self.sim.now) + self.latency_us + jitter_us
         if self.reorder_rate > 0.0 and self.sim.rng.random() < self.reorder_rate:
             delay += constants.REORDER_EXTRA_US * self.sim.rng.random()
             self.sim.count("link.reordered")
@@ -189,12 +273,31 @@ class Link:
             dir=self._dir_names[key],
             bytes=pkt.byte_size(),
         )
-        self.sim.schedule(delay, self._deliver, pkt, dst_port)
+        self.sim.schedule(delay, self._deliver, pkt, dst_port, corrupted)
+        if duplicated:
+            # The duplicate serializes right behind the original and is a
+            # distinct object downstream (each copy is processed once).
+            self._ctr_duplicated.inc()
+            self.sim.tracer.emit(
+                tt.PACKET_DUP,
+                link=self.name,
+                dir=self._dir_names[key],
+                bytes=pkt.byte_size(),
+            )
+            self.sim.schedule(
+                delay + ser_us, self._deliver, pkt.copy(), dst_port, corrupted
+            )
 
-    def _deliver(self, pkt: Packet, dst_port: Port) -> None:
+    def _deliver(self, pkt: Packet, dst_port: Port,
+                 corrupted: bool = False) -> None:
         src_port = self.other_end(dst_port)
         if not self.up:
             self._drop(pkt, src_port, "down")
+            return
+        if corrupted:
+            # The receiving MAC discards the frame on FCS mismatch; the
+            # bandwidth was spent, the packet never reaches the node.
+            self._drop(pkt, src_port, "corrupt")
             return
         node = dst_port.node
         if node.failed:
@@ -210,6 +313,37 @@ class Link:
 
     def recover(self) -> None:
         self.up = True
+
+    def impair(self, impairment: LinkImpairment,
+               direction: Optional[Port] = None) -> None:
+        """Install a gray-failure impairment on one or both directions.
+
+        ``direction`` is the *sending* port of the affected direction;
+        ``None`` impairs both directions with the same parameters.
+        """
+        if direction is None:
+            keys = [id(self.a), id(self.b)]
+        else:
+            self.other_end(direction)  # validates membership
+            keys = [id(direction)]
+        for key in keys:
+            self._impairments[key] = impairment
+
+    def clear_impairments(self, direction: Optional[Port] = None) -> None:
+        """Lift impairments from one direction (or, with ``None``, all)."""
+        if direction is None:
+            self._impairments.clear()
+        else:
+            self.other_end(direction)
+            self._impairments.pop(id(direction), None)
+
+    def impairment_of(self, direction: Port) -> Optional[LinkImpairment]:
+        """The impairment active on the direction sent from ``direction``."""
+        return self._impairments.get(id(direction))
+
+    @property
+    def impaired(self) -> bool:
+        return bool(self._impairments)
 
     # -- registry-backed accounting views ---------------------------------------
 

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 
 from repro.net.simulator import Simulator
 from repro.core.protocol import STORE_UDP_PORT
-from repro.statestore.server import StateStoreNode, build_chain
+from repro.statestore.server import StateStoreNode, reconfigure_chain
 from repro.statestore.sharding import ShardAddress, ShardMap
 from repro.telemetry import trace as tt
 
@@ -107,12 +107,14 @@ class StoreFailoverCoordinator:
     def _evict(self, shard_index: int, chain: _ShardChain,
                node: StateStoreNode) -> None:
         chain.alive = [n for n in chain.alive if n is not node]
-        if not chain.alive:
+        if not any(not n.failed for n in chain.alive):
             raise RuntimeError(
                 f"shard {shard_index}: every chain replica failed"
             )
         old_head_ip = self.shard_map.addresses()[shard_index].ip
-        build_chain(chain.alive)
+        # Rewire the survivors; the new head re-propagates any chain
+        # updates the evicted node may have swallowed mid-propagation.
+        chain.alive = reconfigure_chain(chain.alive)
         new_head = chain.alive[0]
         self._c_reconfigurations.inc()
         self.sim.tracer.emit(

@@ -15,6 +15,15 @@ arrive at the chain head, which runs the protocol decision logic of §5.1-5.3:
 Mutating requests are propagated down the chain (van Renesse & Schneider
 chain replication, group size 3 in the prototype); the tail emits the
 acknowledgment. Non-mutating read-buffer requests bounce off the head.
+
+Chain updates are individually acknowledged hop-by-hop from the tail back
+toward the head: every node remembers the updates it forwarded downstream
+until the matching chain ack returns. When a chain is rewired around a
+dead node (:func:`reconfigure_chain`), the new head re-propagates its
+unacknowledged updates down the repaired chain, so an update stranded
+mid-propagation by the crash still reaches the tail — and the switch's
+stranded reply is regenerated — without waiting for a switch-side
+retransmission timeout.
 """
 
 from __future__ import annotations
@@ -36,9 +45,15 @@ from repro.core.protocol import (
     make_protocol_packet,
     parse_protocol_packet,
 )
+from repro.telemetry import trace as tt
 
 #: UDP port used for chain-replication propagation between store nodes.
 CHAIN_UDP_PORT = 4802
+
+#: First byte of a chain packet: a state update travelling head-to-tail,
+#: or the per-update acknowledgment travelling tail-to-head.
+_CHAIN_UPDATE = 0
+_CHAIN_ACK = 1
 
 #: ACK aux values: did the flow's state already exist at the store?
 AUX_FRESH_FLOW = 0
@@ -96,6 +111,14 @@ class StateStoreNode(Host):
         self.records: Dict[FlowKey, FlowRecord] = {}
         #: Next node in the chain (None for the tail / unreplicated store).
         self.successor_ip: Optional[int] = None
+        #: Chain updates forwarded downstream and not yet acknowledged:
+        #: key -> (version, reply, requester_ip, upstream_ip). ``version``
+        #: is the (last_seq, lease_expiry) pair the update carried;
+        #: ``upstream_ip`` is where the update came from (None at the head)
+        #: and where the eventual chain ack is forwarded.
+        self._chain_inflight: Dict[
+            FlowKey, Tuple[Tuple[int, float], RedPlaneMessage, int, Optional[int]]
+        ] = {}
         self.bind(STORE_UDP_PORT, self._on_request_packet)
         self.bind(CHAIN_UDP_PORT, self._on_chain_packet)
         # Per-node protocol statistics, published through the run's metric
@@ -107,6 +130,7 @@ class StateStoreNode(Host):
         self._c_stale = m.counter("store.updates_rejected_stale", node=name)
         self._c_leases = m.counter("store.leases_granted", node=name)
         self._c_buffered = m.counter("store.requests_buffered", node=name)
+        self._c_repairs = m.counter("store.chain_repairs", node=name)
 
     @property
     def requests_processed(self) -> int:
@@ -127,6 +151,10 @@ class StateStoreNode(Host):
     @property
     def requests_buffered(self) -> int:
         return int(self._c_buffered.value)
+
+    @property
+    def chain_repairs(self) -> int:
+        return int(self._c_repairs.value)
 
     # -- helpers ------------------------------------------------------------
 
@@ -315,22 +343,64 @@ class StateStoreNode(Host):
         rec: FlowRecord,
         reply: RedPlaneMessage,
         requester_ip: int,
+        upstream_ip: Optional[int] = None,
     ) -> None:
         if self.successor_ip is None:
             self._reply(reply, requester_ip)
+            if upstream_ip is not None:
+                # Tail: confirm the update up-chain so predecessors can
+                # retire their in-flight copies.
+                self._send_chain_ack(
+                    key, rec.last_seq, rec.lease_expiry, upstream_ip
+                )
             return
-        payload = _pack_chain_update(key, rec, reply, requester_ip)
+        version = (rec.last_seq, rec.lease_expiry)
+        self._chain_inflight[key] = (version, reply, requester_ip, upstream_ip)
+        payload = bytes([_CHAIN_UPDATE]) + _pack_chain_update(
+            key, rec, reply, requester_ip
+        )
         pkt = Packet.udp(
             self.ip, self.successor_ip, CHAIN_UDP_PORT, CHAIN_UDP_PORT, payload
         )
         pkt.meta["rp_kind"] = "chain"
         self.send(pkt)
 
-    def _on_chain_packet(self, pkt: Packet) -> None:
-        key, state, reply, requester_ip = _unpack_chain_update(pkt.payload)
-        self.sim.schedule(
-            self.proc_delay_us, self._apply_chain, key, state, reply, requester_ip
+    def _send_chain_ack(
+        self, key: FlowKey, seq: int, expiry: float, to_ip: int
+    ) -> None:
+        payload = bytes([_CHAIN_ACK]) + struct.pack(
+            "!13sId", key.pack(), seq & 0xFFFFFFFF, expiry
         )
+        pkt = Packet.udp(self.ip, to_ip, CHAIN_UDP_PORT, CHAIN_UDP_PORT, payload)
+        pkt.meta["rp_kind"] = "chain"
+        self.send(pkt)
+
+    def _on_chain_packet(self, pkt: Packet) -> None:
+        kind, body = pkt.payload[0], pkt.payload[1:]
+        if kind == _CHAIN_ACK:
+            key_bytes, seq, expiry = struct.unpack("!13sId", body)
+            self._handle_chain_ack(FlowKey.unpack(key_bytes), seq, expiry)
+            return
+        key, state, reply, requester_ip = _unpack_chain_update(body)
+        self.sim.schedule(
+            self.proc_delay_us, self._apply_chain, key, state, reply,
+            requester_ip, pkt.ip.src,
+        )
+
+    def _handle_chain_ack(self, key: FlowKey, seq: int, expiry: float) -> None:
+        if self.failed:
+            return
+        entry = self._chain_inflight.get(key)
+        if entry is None:
+            return
+        version, _reply, _requester_ip, upstream_ip = entry
+        if version <= (seq, expiry):
+            del self._chain_inflight[key]
+        if upstream_ip is not None:
+            # Relay the confirmation toward the head with the *received*
+            # version: an ack for an older update must not retire a newer
+            # in-flight copy held upstream.
+            self._send_chain_ack(key, seq, expiry, upstream_ip)
 
     def _apply_chain(
         self,
@@ -338,6 +408,7 @@ class StateStoreNode(Host):
         state: Tuple[List[int], bool, int, Optional[int], float],
         reply: RedPlaneMessage,
         requester_ip: int,
+        upstream_ip: Optional[int] = None,
     ) -> None:
         if self.failed:
             return
@@ -360,7 +431,34 @@ class StateStoreNode(Host):
                 rec.snapshot_seqs[reply.aux] = reply.seq
         # The reply (and its piggybacked outputs) must travel regardless:
         # even a stale-looking update acknowledges a real request.
-        self._propagate_or_reply(key, rec, reply, requester_ip)
+        self._propagate_or_reply(key, rec, reply, requester_ip, upstream_ip)
+
+    def repropagate_inflight(self) -> int:
+        """Re-send every unacknowledged chain update down the current chain.
+
+        Called after a chain splice: an update this node forwarded may have
+        died with the spliced-out successor, stranding both the replica
+        convergence and the requester's reply. Re-propagating from the
+        node's *current* record state (never older than what the update
+        carried) heals the survivors; if this node has become the tail the
+        stranded reply is sent directly. Returns the number re-propagated.
+        """
+        if not self._chain_inflight:
+            return 0
+        stranded = list(self._chain_inflight.items())
+        self._chain_inflight.clear()
+        for key, (_version, reply, requester_ip, upstream_ip) in stranded:
+            self._propagate_or_reply(
+                key, self.record(key), reply, requester_ip, upstream_ip
+            )
+        self._c_repairs.inc(len(stranded))
+        self.sim.tracer.emit(
+            tt.CHAIN_REPAIR,
+            node=self.name,
+            updates=len(stranded),
+            successor=self.successor_ip or 0,
+        )
+        return len(stranded)
 
 
 # -- chain update wire format -------------------------------------------------
@@ -414,6 +512,9 @@ def build_chain(nodes: List[StateStoreNode]) -> None:
     for node, successor in zip(nodes, nodes[1:]):
         node.successor_ip = successor.ip
     nodes[-1].successor_ip = None
+    # A node that just became the tail has nothing downstream left to
+    # confirm; its in-flight ledger refers to the old successor.
+    nodes[-1]._chain_inflight.clear()
 
 
 def reconfigure_chain(nodes: List[StateStoreNode]) -> List[StateStoreNode]:
@@ -421,9 +522,13 @@ def reconfigure_chain(nodes: List[StateStoreNode]) -> List[StateStoreNode]:
 
     Returns the surviving chain (possibly empty). Chain reconfiguration in
     the prototype is handled by an external coordination service; we model
-    the end state.
+    the end state. After the splice the new head re-propagates its
+    unacknowledged chain updates so nothing an evicted node swallowed
+    mid-propagation stays stranded (the repair is traced as
+    ``chain.repair``).
     """
     alive = [node for node in nodes if not node.failed]
     if alive:
         build_chain(alive)
+        alive[0].repropagate_inflight()
     return alive

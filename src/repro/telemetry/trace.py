@@ -18,6 +18,7 @@ type                   emitted when
 ``packet.send``        a link serializes a packet toward the far end
 ``packet.drop``        a packet dies (loss, down link, queue, dead node)
 ``packet.reorder``     a link delays a packet past its successors
+``packet.dup``         an impaired link duplicates a packet on the wire
 ``lease.request``      a switch asks the store for a flow's lease
 ``lease.grant``        a lease (plus migrated state) is installed
 ``lease.renew``        an explicit renewal is sent
@@ -25,6 +26,9 @@ type                   emitted when
 ``retransmit``         a circulating mirror copy times out and resends
 ``snapshot``           one snapshot slot value ships to the store
 ``failover``           a store chain is rewired around a dead node
+``chain.repair``       a spliced chain head re-propagates unacked updates
+``fault.inject``       a chaos/failure schedule applies an injected fault
+``fault.clear``        an injected fault is lifted
 =====================  ====================================================
 """
 
@@ -38,6 +42,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, TextIO
 PACKET_SEND = "packet.send"
 PACKET_DROP = "packet.drop"
 PACKET_REORDER = "packet.reorder"
+PACKET_DUP = "packet.dup"
 LEASE_REQUEST = "lease.request"
 LEASE_GRANT = "lease.grant"
 LEASE_RENEW = "lease.renew"
@@ -45,6 +50,9 @@ LEASE_EXPIRY = "lease.expiry"
 RETRANSMIT = "retransmit"
 SNAPSHOT = "snapshot"
 FAILOVER = "failover"
+CHAIN_REPAIR = "chain.repair"
+FAULT_INJECT = "fault.inject"
+FAULT_CLEAR = "fault.clear"
 
 
 @dataclass

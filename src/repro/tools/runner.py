@@ -7,6 +7,8 @@ Usage::
     python -m repro.tools run all           # everything (slow)
     python -m repro.tools metrics           # telemetry snapshot of a demo run
     python -m repro.tools trace --tail 20   # trace tail of a demo run
+    python -m repro.tools chaos --list      # chaos campaign inventory
+    python -m repro.tools chaos gray_link   # one chaos campaign + verdict
 
 Each experiment is a pytest benchmark under ``benchmarks/``; the runner
 invokes pytest with the right selection so the printed rows land on
@@ -162,6 +164,37 @@ def show_trace(seed: int, packets: int, tail: int, as_json: bool,
     return 0
 
 
+def run_chaos(campaign: Optional[str], seed: int, as_json: bool,
+              out: Optional[str], check_determinism: bool,
+              list_campaigns: bool) -> int:
+    """Run one chaos campaign; exit nonzero on FAIL or a verdict mismatch."""
+    from repro.chaos import CAMPAIGNS, render_report, run_campaign, \
+        verdict_json
+
+    if list_campaigns or campaign is None:
+        width = max(len(name) for name in CAMPAIGNS)
+        for name, c in CAMPAIGNS.items():
+            print(f"{name.ljust(width)}  {c.description}")
+        return 0
+    report = run_campaign(campaign, seed=seed)
+    serialized = verdict_json(report)
+    if check_determinism:
+        repeat = verdict_json(run_campaign(campaign, seed=seed))
+        if repeat != serialized:
+            print(f"NONDETERMINISTIC: two seed={seed} runs of "
+                  f"{campaign!r} produced different verdict reports",
+                  file=sys.stderr)
+            return 2
+        print(f"determinism: two seed={seed} runs byte-identical",
+              file=sys.stderr)
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(serialized)
+        print(f"wrote verdict report to {out}", file=sys.stderr)
+    print(serialized if as_json else render_report(report))
+    return 0 if report["verdict"] == "PASS" else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools",
@@ -187,6 +220,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="records to print (default 40)")
     trace_parser.add_argument("--out", metavar="PATH",
                               help="also write the retained records as JSONL")
+    chaos_parser = sub.add_parser(
+        "chaos", help="run a fault-injection campaign with invariant "
+                      "auditing and print its verdict report")
+    chaos_parser.add_argument("campaign", nargs="?",
+                              help="campaign name (omit with --list)")
+    chaos_parser.add_argument("--list", action="store_true",
+                              dest="list_campaigns",
+                              help="show the campaign inventory")
+    chaos_parser.add_argument("--seed", type=int, default=42,
+                              help="simulator seed (default 42)")
+    chaos_parser.add_argument("--json", action="store_true",
+                              help="print the raw verdict report JSON")
+    chaos_parser.add_argument("--out", metavar="PATH",
+                              help="also write the verdict report JSON")
+    chaos_parser.add_argument("--check-determinism", action="store_true",
+                              help="run twice and require byte-identical "
+                                   "verdict reports")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -199,6 +249,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "trace":
         return show_trace(args.seed, args.packets, args.tail, args.json,
                           args.out)
+    if args.command == "chaos":
+        return run_chaos(args.campaign, args.seed, args.json, args.out,
+                         args.check_determinism, args.list_campaigns)
     return run_experiment(args.experiment)
 
 

@@ -1,26 +1,42 @@
 """Failure-scenario library.
 
-Parameterized failure schedules used by tests, benchmarks, and examples:
-the paper's single fail-stop (§7.3), link flapping (the Fig 7a stale-state
-hazard), rolling failures, and correlated rack failures. Each scenario
-schedules its events on a deployment and records what it did, so an
-experiment can correlate measurements with injected faults.
+Parameterized failure schedules used by tests, benchmarks, examples, and
+the chaos engine (:mod:`repro.chaos`): the paper's single fail-stop
+(§7.3), link flapping (the Fig 7a stale-state hazard), rolling failures,
+correlated rack failures, and — beyond clean fail-stop — the gray-failure
+primitives of `repro.net.links.LinkImpairment` (corruption, duplication,
+jitter, asymmetric partition, degraded bandwidth), store crash+restart
+and degradation, and switch-side lease-expiry races.
+
+Each scenario schedules its events on a deployment and records what it
+did, so an experiment can correlate measurements with injected faults.
+Every fault application and clearance is also emitted as a
+``fault.inject`` / ``fault.clear`` trace event at the simulated time it
+fires, which is how chaos verdict reports reconstruct the timeline.
+
+Determinism: a schedule holds no randomness of its own — fault times are
+explicit, and any probabilistic behaviour (loss, corruption, jitter)
+draws from the simulator's seeded RNG when packets traverse the impaired
+element. Two runs with the same seed inject byte-identical fault streams.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.deploy import Deployment
 from repro.net import constants
+from repro.net.links import Link, LinkImpairment, Port
+from repro.telemetry import trace as tt
 
 
 @dataclass
 class InjectedFault:
     time_us: float
-    kind: str       # "fail_node" | "recover_node" | "fail_link" | "recover_link"
+    kind: str       # "fail_node" | "recover_node" | "fail_link" | ...
     target: str
+    detail: str = ""
 
 
 @dataclass
@@ -30,29 +46,163 @@ class FailureSchedule:
     deployment: Deployment
     detect_delay_us: float = constants.FAILURE_DETECT_US
     log: List[InjectedFault] = field(default_factory=list)
+    #: Saved (proc_delay_us, service_time_us) per degraded store, so
+    #: restore_store_at can undo a degradation exactly.
+    _store_baseline: Dict[str, Tuple[float, float]] = field(default_factory=dict)
 
-    # -- primitives --------------------------------------------------------
+    # -- plumbing ----------------------------------------------------------
+
+    def _inject(self, time_us: float, kind: str, target: str,
+                fn: Callable[[], None], detail: str = "",
+                clear: bool = False) -> None:
+        """Schedule ``fn`` at ``time_us``, logging and tracing the fault."""
+        tracer = self.deployment.sim.tracer
+        event_type = tt.FAULT_CLEAR if clear else tt.FAULT_INJECT
+
+        def fire() -> None:
+            tracer.emit(event_type, kind=kind, target=target, detail=detail)
+            fn()
+
+        self.deployment.sim.schedule_at(time_us, fire)
+        self.log.append(InjectedFault(time_us, kind, target, detail))
+
+    def link(self, index: int) -> Link:
+        return self.deployment.bed.topology.links[index]
+
+    def link_between(self, name_a: str, name_b: str) -> Link:
+        """The (first) link whose endpoints are the two named nodes."""
+        for link in self.deployment.bed.topology.links:
+            ends = {link.a.node.name, link.b.node.name}
+            if ends == {name_a, name_b}:
+                return link
+        raise KeyError(f"no link between {name_a!r} and {name_b!r}")
+
+    @staticmethod
+    def _direction_port(link: Link, from_node: Optional[str]) -> Optional[Port]:
+        """The sending port of the ``from_node`` direction (None = both)."""
+        if from_node is None:
+            return None
+        if link.a.node.name == from_node:
+            return link.a
+        if link.b.node.name == from_node:
+            return link.b
+        raise KeyError(f"{from_node!r} is not an endpoint of {link.name}")
+
+    # -- node / link fail-stop primitives ----------------------------------
 
     def fail_switch_at(self, time_us: float, name: str) -> None:
-        node = self.deployment.bed.topology.nodes[name]
-        self.deployment.sim.schedule_at(
-            time_us, self.deployment.bed.topology.fail_node, node,
-            self.detect_delay_us,
-        )
-        self.log.append(InjectedFault(time_us, "fail_node", name))
+        topo = self.deployment.bed.topology
+        node = topo.nodes[name]
+        self._inject(time_us, "fail_node", name,
+                     lambda: topo.fail_node(node, self.detect_delay_us))
 
     def recover_switch_at(self, time_us: float, name: str) -> None:
-        node = self.deployment.bed.topology.nodes[name]
-        self.deployment.sim.schedule_at(
-            time_us, self.deployment.bed.topology.recover_node, node,
-            self.detect_delay_us,
-        )
-        self.log.append(InjectedFault(time_us, "recover_node", name))
+        topo = self.deployment.bed.topology
+        node = topo.nodes[name]
+        self._inject(time_us, "recover_node", name,
+                     lambda: topo.recover_node(node, self.detect_delay_us),
+                     clear=True)
 
     def fail_store_at(self, time_us: float, index: int) -> None:
         store = self.deployment.stores[index]
-        self.deployment.sim.schedule_at(time_us, store.fail)
-        self.log.append(InjectedFault(time_us, "fail_node", store.name))
+        self._inject(time_us, "fail_node", store.name, store.fail)
+
+    def recover_store_at(self, time_us: float, index: int) -> None:
+        store = self.deployment.stores[index]
+        self._inject(time_us, "recover_node", store.name, store.recover,
+                     clear=True)
+
+    def restart_store_at(self, time_us: float, index: int,
+                         down_for_us: float) -> None:
+        """Crash a store node and bring it back ``down_for_us`` later.
+
+        The node's DRAM records survive the restart (a process crash, not
+        a disk loss); whether its chain still references it is up to the
+        failover coordinator running in the experiment.
+        """
+        self.fail_store_at(time_us, index)
+        self.recover_store_at(time_us + down_for_us, index)
+
+    def fail_link_at(self, time_us: float, link_index: int) -> None:
+        topo = self.deployment.bed.topology
+        link = self.link(link_index)
+        self._inject(time_us, "fail_link", link.name,
+                     lambda: topo.fail_link(link, self.detect_delay_us))
+
+    def recover_link_at(self, time_us: float, link_index: int) -> None:
+        topo = self.deployment.bed.topology
+        link = self.link(link_index)
+        self._inject(time_us, "recover_link", link.name,
+                     lambda: topo.recover_link(link, self.detect_delay_us),
+                     clear=True)
+
+    # -- gray-failure primitives -------------------------------------------
+
+    def impair_link_at(self, time_us: float, link: Link,
+                       impairment: LinkImpairment,
+                       from_node: Optional[str] = None) -> None:
+        """Install a gray-failure impairment at ``time_us``.
+
+        ``from_node`` names the sending side of the affected direction;
+        ``None`` impairs both directions. Routing beliefs are NOT updated:
+        gray failures are exactly the faults detection misses.
+        """
+        port = self._direction_port(link, from_node)
+        detail = impairment.describe() + (f" from={from_node}" if from_node else "")
+        self._inject(time_us, "impair_link", link.name,
+                     lambda: link.impair(impairment, port), detail=detail)
+
+    def clear_link_at(self, time_us: float, link: Link,
+                      from_node: Optional[str] = None) -> None:
+        port = self._direction_port(link, from_node)
+        self._inject(time_us, "clear_link", link.name,
+                     lambda: link.clear_impairments(port), clear=True)
+
+    def block_direction_at(self, time_us: float, link: Link,
+                           from_node: str) -> None:
+        """Asymmetric partition: one-way blackhole starting at ``time_us``."""
+        self.impair_link_at(time_us, link, LinkImpairment(blocked=True),
+                            from_node=from_node)
+
+    def degrade_store_at(self, time_us: float, index: int,
+                         proc_delay_us: Optional[float] = None,
+                         service_time_us: Optional[float] = None) -> None:
+        """Gray store: inflate a node's processing/service time."""
+        store = self.deployment.stores[index]
+
+        def apply() -> None:
+            self._store_baseline.setdefault(
+                store.name, (store.proc_delay_us, store.service_time_us))
+            if proc_delay_us is not None:
+                store.proc_delay_us = proc_delay_us
+            if service_time_us is not None:
+                store.service_time_us = service_time_us
+
+        detail = (f"proc_delay_us={proc_delay_us} "
+                  f"service_time_us={service_time_us}")
+        self._inject(time_us, "degrade_store", store.name, apply, detail=detail)
+
+    def restore_store_at(self, time_us: float, index: int) -> None:
+        store = self.deployment.stores[index]
+
+        def restore() -> None:
+            baseline = self._store_baseline.pop(store.name, None)
+            if baseline is not None:
+                store.proc_delay_us, store.service_time_us = baseline
+
+        self._inject(time_us, "restore_store", store.name, restore, clear=True)
+
+    def expire_leases_at(self, time_us: float,
+                         switch: Optional[str] = None) -> None:
+        """Force switch-side lease expiry (the lease-race fault model)."""
+        engines = self.deployment.engines
+
+        def expire() -> None:
+            for name, engine in engines.items():
+                if switch is None or name == switch:
+                    engine.expire_lease_now()
+
+        self._inject(time_us, "expire_leases", switch or "all-switches", expire)
 
     # -- canned scenarios -----------------------------------------------------
 
@@ -69,17 +219,25 @@ class FailureSchedule:
                       flaps: int, link_index: int = 0) -> "FailureSchedule":
         """A link that fails and recovers repeatedly (Fig 7a's hazard:
         a switch that keeps its state across connectivity loss)."""
-        topo = self.deployment.bed.topology
-        link = topo.links[link_index]
         for i in range(flaps):
             down_at = first_fail_us + i * period_us
-            up_at = down_at + period_us / 2
-            self.deployment.sim.schedule_at(
-                down_at, topo.fail_link, link, self.detect_delay_us)
-            self.deployment.sim.schedule_at(
-                up_at, topo.recover_link, link, self.detect_delay_us)
-            self.log.append(InjectedFault(down_at, "fail_link", link.name))
-            self.log.append(InjectedFault(up_at, "recover_link", link.name))
+            self.fail_link_at(down_at, link_index)
+            self.recover_link_at(down_at + period_us / 2, link_index)
+        return self
+
+    def gray_link(self, start_us: float, duration_us: float, link: Link,
+                  corrupt_rate: float = 0.02, drop_rate: float = 0.0,
+                  bandwidth_scale: float = 1.0,
+                  jitter_us: float = 0.0,
+                  from_node: Optional[str] = None) -> "FailureSchedule":
+        """LinkGuardian's hard case: a link that corrupts instead of dying,
+        so routing never reacts and retransmission has to carry the load."""
+        impairment = LinkImpairment(
+            corrupt_rate=corrupt_rate, drop_rate=drop_rate,
+            bandwidth_scale=bandwidth_scale, jitter_us=jitter_us,
+        )
+        self.impair_link_at(start_us, link, impairment, from_node=from_node)
+        self.clear_link_at(start_us + duration_us, link, from_node=from_node)
         return self
 
     def rolling_switch_failures(self, start_us: float, gap_us: float
@@ -104,13 +262,25 @@ class FailureSchedule:
         together (fiber cut / PDU failure)."""
         bed = self.deployment.bed
         tor = bed.tors[rack - 1]
-        self.deployment.sim.schedule_at(
-            time_us, bed.topology.fail_node, tor, self.detect_delay_us)
-        self.log.append(InjectedFault(time_us, "fail_node", tor.name))
-        for store in self.deployment.stores:
+        topo = bed.topology
+        self._inject(time_us, "fail_node", tor.name,
+                     lambda: topo.fail_node(tor, self.detect_delay_us))
+        for index, store in enumerate(self.deployment.stores):
             if store.name == f"st{rack}":
-                self.deployment.sim.schedule_at(time_us, store.fail)
-                self.log.append(InjectedFault(time_us, "fail_node", store.name))
+                self.fail_store_at(time_us, index)
+        return self
+
+    def rack_recovery(self, time_us: float, rack: int) -> "FailureSchedule":
+        """Bring a failed rack's ToR and store server back."""
+        bed = self.deployment.bed
+        tor = bed.tors[rack - 1]
+        topo = bed.topology
+        self._inject(time_us, "recover_node", tor.name,
+                     lambda: topo.recover_node(tor, self.detect_delay_us),
+                     clear=True)
+        for index, store in enumerate(self.deployment.stores):
+            if store.name == f"st{rack}":
+                self.recover_store_at(time_us, index)
         return self
 
     # -- reporting ------------------------------------------------------------
@@ -118,3 +288,11 @@ class FailureSchedule:
     def summary(self) -> List[Tuple[float, str, str]]:
         return [(f.time_us, f.kind, f.target) for f in
                 sorted(self.log, key=lambda f: f.time_us)]
+
+    def detailed_summary(self) -> List[Dict[str, object]]:
+        """Machine-readable fault list for chaos verdict reports."""
+        return [
+            {"time_us": f.time_us, "kind": f.kind, "target": f.target,
+             "detail": f.detail}
+            for f in sorted(self.log, key=lambda f: (f.time_us, f.kind, f.target))
+        ]

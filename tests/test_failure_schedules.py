@@ -2,9 +2,13 @@
 
 import pytest
 
-from repro import Simulator, deploy
+from repro import RedPlaneConfig, Simulator, deploy
 from repro.apps.counter import SyncCounterApp
+from repro.chaos.workload import CounterWorkload, EchoCounterApp
+from repro.model.linearizability import check_counter_history
+from repro.net.links import LinkImpairment
 from repro.net.packet import Packet
+from repro.telemetry import trace as tt
 from repro.workloads.failures import FailureSchedule
 
 
@@ -63,6 +67,98 @@ def test_rolling_failures_migrate_state(sim, counter_deployment):
     rec = dep.stores[0].records[key]
     assert len(got) <= rec.vals[0] <= 15
     assert len(got) >= 10  # the workload largely survived the rolling faults
+
+
+def test_flapping_link_history_linearizable():
+    """Fig 7a's hazard end-to-end: a link flapping under the owning switch
+    must not duplicate or regress state — the surviving history is
+    checked against the counter's sequential spec."""
+    sim = Simulator(seed=11)
+    dep = deploy(sim, EchoCounterApp,
+                 config=RedPlaneConfig(lease_period_us=200_000.0))
+    workload = CounterWorkload(dep, packets=40, gap_us=10_000.0,
+                               start_us=10_000.0)
+    workload.start()
+    schedule = FailureSchedule(dep, detect_delay_us=20_000.0)
+    schedule.flapping_link(first_fail_us=100_000.0, period_us=150_000.0,
+                           flaps=3, link_index=4)  # agg1<->tor1
+    sim.run(until=1_200_000)
+    sim.run_until_idle()
+
+    assert check_counter_history(workload.history())
+    values = workload.delivered_values()
+    assert values == sorted(set(values))  # no duplicated state values
+    assert workload.delivered >= 25       # traffic largely survived
+
+
+def test_rolling_failures_history_linearizable():
+    """State migrates across every switch in turn; each migration must
+    preserve per-flow linearizability, not just the final count."""
+    sim = Simulator(seed=13)
+    dep = deploy(sim, EchoCounterApp,
+                 config=RedPlaneConfig(lease_period_us=200_000.0))
+    workload = CounterWorkload(dep, packets=15, gap_us=100_000.0,
+                               start_us=10_000.0)
+    workload.start()
+    schedule = FailureSchedule(dep, detect_delay_us=20_000.0)
+    schedule.rolling_switch_failures(start_us=200_000.0, gap_us=400_000.0)
+    sim.run(until=2_500_000)
+    sim.run_until_idle()
+
+    assert check_counter_history(workload.history())
+    values = workload.delivered_values()
+    assert values == sorted(set(values))
+    assert workload.delivered >= 10
+
+
+def test_faults_emit_trace_events(sim, counter_deployment):
+    dep = counter_deployment
+    schedule = FailureSchedule(dep, detect_delay_us=10_000.0)
+    schedule.fail_switch_at(1_000.0, "agg1")
+    schedule.recover_switch_at(5_000.0, "agg1")
+    schedule.impair_link_at(2_000.0, schedule.link_between("agg1", "tor1"),
+                            LinkImpairment(corrupt_rate=0.1))
+    sim.run(until=10_000)
+    injects = sim.tracer.records_of(tt.FAULT_INJECT)
+    clears = sim.tracer.records_of(tt.FAULT_CLEAR)
+    assert [(r.fields["kind"], r.fields["target"]) for r in injects] == [
+        ("fail_node", "agg1"), ("impair_link", "agg1<->tor1")]
+    assert injects[1].fields["detail"] == "corrupt_rate=0.1"
+    assert [(r.fields["kind"], r.fields["target"]) for r in clears] == [
+        ("recover_node", "agg1")]
+
+
+def test_gray_primitives_schedule_and_log():
+    sim = Simulator(seed=3)
+    dep = deploy(sim, SyncCounterApp)
+    schedule = FailureSchedule(dep)
+    link = schedule.link_between("tor1", "st1")
+    schedule.block_direction_at(1_000.0, link, from_node="st1")
+    schedule.clear_link_at(2_000.0, link, from_node="st1")
+    schedule.degrade_store_at(1_000.0, 0, proc_delay_us=500.0)
+    schedule.restore_store_at(3_000.0, 0)
+    schedule.restart_store_at(4_000.0, 1, down_for_us=1_000.0)
+    schedule.expire_leases_at(6_000.0)
+    baseline_proc = dep.stores[0].proc_delay_us
+
+    sim.run(until=1_500.0)
+    st1_port = link.a if link.a.node.name == "st1" else link.b
+    assert link.impairment_of(st1_port).blocked
+    assert link.impaired
+    assert dep.stores[0].proc_delay_us == 500.0
+    sim.run(until=4_500.0)
+    assert not link.impaired
+    assert dep.stores[0].proc_delay_us == baseline_proc
+    assert dep.stores[1].failed
+    sim.run(until=7_000.0)
+    assert not dep.stores[1].failed
+    kinds = [k for _t, k, _n in schedule.summary()]
+    assert kinds == ["impair_link", "degrade_store", "clear_link",
+                     "restore_store", "fail_node", "recover_node",
+                     "expire_leases"]
+    detailed = schedule.detailed_summary()
+    assert all(set(f) == {"time_us", "kind", "target", "detail"}
+               for f in detailed)
 
 
 def test_rack_failure_takes_tor_and_store(sim, counter_deployment):

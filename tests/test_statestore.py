@@ -213,6 +213,48 @@ def test_chain_reconfiguration_skips_failed_node():
     assert len(sw.acks) == 1
 
 
+def test_chain_acks_clear_inflight_ledgers():
+    """Hop-by-hop chain acks flow tail -> head; once the write commits,
+    no node still holds it as in flight."""
+    sim = Simulator()
+    _hub, (sw,), stores = micro_net(sim, num_stores=3)
+    build_chain(stores)
+    sw.request(stores[0].ip, RedPlaneMessage(
+        1, MessageType.REPL_WRITE_REQ, KEY, vals=[7]))
+    sim.run_until_idle()
+    assert len(sw.acks) == 1
+    for node in stores:
+        assert not node._chain_inflight
+        assert node.chain_repairs == 0
+
+
+def test_chain_repair_repropagates_stranded_update():
+    """A mid-chain node dies while holding an un-acked update; the splice
+    must re-propagate it from the head or the tail never converges and
+    the requester never hears back."""
+    sim = Simulator()
+    _hub, (sw,), stores = micro_net(sim, num_stores=3)
+    build_chain(stores)
+    stores[1].fail()  # the head's downstream hop swallows the update
+    sw.request(stores[0].ip, RedPlaneMessage(
+        1, MessageType.REPL_WRITE_REQ, KEY, vals=[42]))
+    sim.run_until_idle()
+    # Stranded: the head applied and propagated, but nothing came back.
+    assert stores[0].records[KEY].vals == [42]
+    assert KEY not in stores[2].records
+    assert sw.acks == []
+    assert stores[0]._chain_inflight
+
+    alive = reconfigure_chain(stores)  # triggers repropagate_inflight()
+    sim.run_until_idle()
+    assert [n.name for n in alive] == ["fst0", "fst2"]
+    assert stores[2].records[KEY].vals == [42]
+    assert stores[2].records[KEY].last_seq == 1
+    assert len(sw.acks) == 1           # the requester finally got its ack
+    assert not stores[0]._chain_inflight
+    assert stores[0].chain_repairs == 1
+
+
 def test_allocator_initializes_fresh_flows():
     sim = Simulator()
     hub, (sw,), _ = micro_net(sim, num_stores=0)
