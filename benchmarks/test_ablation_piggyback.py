@@ -39,12 +39,12 @@ def measure(rate_gbps: float):
         orig_send = eng._send_request
         orig_ack = eng._handle_write_ack
 
-        def send_wrapper(ctx, msg, _orig=orig_send):
+        def send_wrapper(ctx, msg, _orig=orig_send, **kwargs):
             if msg.piggyback is not None and msg.msg_type.name == "REPL_WRITE_REQ":
                 inflight_bytes["now"] += len(msg.piggyback)
                 inflight_bytes["peak"] = max(inflight_bytes["peak"],
                                              inflight_bytes["now"])
-            _orig(ctx, msg)
+            return _orig(ctx, msg, **kwargs)
 
         def ack_wrapper(ctx, msg, idx, now, _orig=orig_ack):
             if msg.piggyback is not None:

@@ -1,5 +1,12 @@
 """Measurement helpers: statistics, bandwidth accounting, fluid throughput."""
 
+from repro.analysis.attribution import (
+    AckBreakdown,
+    attribute_acks,
+    flow_table,
+    render_table,
+    verify_sums,
+)
 from repro.analysis.bandwidth import (
     SNAPSHOT_HEADER_BYTES,
     fig10_row,
@@ -36,6 +43,11 @@ from repro.analysis.throughput import (
 )
 
 __all__ = [
+    "AckBreakdown",
+    "attribute_acks",
+    "flow_table",
+    "render_table",
+    "verify_sums",
     "SNAPSHOT_HEADER_BYTES",
     "fig10_row",
     "fig11_series",

@@ -1,0 +1,237 @@
+"""Latency attribution: split each acknowledged RTT into its causes.
+
+The protocol engine measures ``redplane.ack_rtt_us`` as one opaque
+number per released request copy. The span stream knows *where* that
+time went: every ``rp.ack`` names the acknowledgment packet (``uid``),
+the request copy whose arrival produced it (``cause``, the *winning*
+copy), and the copy the RTT window was anchored to (``req_uid``, the
+latest resend). Pairing those with the winning copy's and the reply's
+wire events decomposes the RTT exactly:
+
+``pipeline_us``
+    Switch-local processing at the originating switch: request creation
+    (the ``rp.request`` record) to first wire contact, plus reply
+    delivery to ack release (the latter is zero in the current model,
+    which processes a delivered packet synchronously).
+``wire_us``
+    Network transit of the winning request copy and of the reply:
+    serialization + propagation + transmit queueing over every hop,
+    including forwarding latency at transit switches.
+``store_us``
+    Store-side dwell: processing delay plus lease buffering between the
+    request's arrival at the (head) store and the first causal output —
+    the reply, or the first chain update when the store replicates.
+``chain_us``
+    Chain replication: first chain update leaving the head until the
+    tail emits the reply.
+``retransmit_wait_us``
+    The residual ``rtt − (pipeline + wire + store + chain)``. By
+    construction the five components ALWAYS sum to the measured RTT.
+    For an ack won by the anchored copy (``cause == req_uid``) the
+    residual is ~0; when an *earlier* copy's late ack wins the race the
+    residual absorbs the anchoring skew (and can be negative), flagged
+    ``exact=False``.
+
+All inputs are deterministic trace records, so the breakdown — and the
+rendered table — is byte-identical across same-seed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.telemetry import trace as tt
+from repro.telemetry.trace import TraceRecord
+
+#: |pipeline + wire + store + chain + retransmit_wait − rtt| must stay
+#: under this (it is exact up to float add ordering).
+SUM_TOLERANCE_US = 1.0
+
+
+@dataclass
+class AckBreakdown:
+    """One acknowledged request copy's RTT, attributed."""
+
+    switch: str
+    kind: str            # "lease_new" | "write"
+    flow: str
+    seq: int
+    ack_uid: int         # span of the acknowledgment packet
+    req_uid: int         # copy the RTT window was anchored to
+    cause_uid: int       # winning copy (0 if unresolvable)
+    rtt_us: float
+    pipeline_us: float = 0.0
+    wire_us: float = 0.0
+    store_us: float = 0.0
+    chain_us: float = 0.0
+    retransmit_wait_us: float = 0.0
+    #: True when the full causal path resolved and the winning copy is
+    #: the anchored copy — the residual is then pure float noise.
+    exact: bool = False
+
+    @property
+    def components_sum_us(self) -> float:
+        return (self.pipeline_us + self.wire_us + self.store_us
+                + self.chain_us + self.retransmit_wait_us)
+
+
+def attribute_acks(records: Iterable[TraceRecord]) -> List[AckBreakdown]:
+    """Decompose every ``rp.ack`` in a trace stream. Order preserved."""
+    first_send: Dict[int, float] = {}
+    last_deliver: Dict[int, float] = {}
+    #: Creation time of each request copy (its ``rp.request`` record).
+    created: Dict[int, float] = {}
+    #: First chain-update send caused by each winning copy.
+    chain_first: Dict[int, float] = {}
+    acks: List[TraceRecord] = []
+    for record in records:
+        fields = record.fields
+        if record.type == tt.RP_REQUEST:
+            uid = int(fields.get("uid", 0))
+            if uid and uid not in created:
+                created[uid] = record.ts
+        elif record.type == tt.PACKET_SEND:
+            uid = int(fields.get("uid", 0))
+            if uid and uid not in first_send:
+                first_send[uid] = record.ts
+            if fields.get("kind") == "chain":
+                parent = int(fields.get("parent", 0))
+                if parent and parent not in chain_first:
+                    chain_first[parent] = record.ts
+        elif record.type == tt.PACKET_DELIVER:
+            uid = int(fields.get("uid", 0))
+            if uid:
+                last_deliver[uid] = record.ts
+        elif record.type == tt.RP_ACK:
+            acks.append(record)
+
+    out: List[AckBreakdown] = []
+    for record in acks:
+        fields = record.fields
+        req_uid = int(fields.get("req_uid", 0))
+        cause = int(fields.get("cause", req_uid) or req_uid)
+        ack_uid = int(fields.get("uid", 0))
+        breakdown = AckBreakdown(
+            switch=str(fields.get("switch", "")),
+            kind=str(fields.get("kind", "")),
+            flow=str(fields.get("flow", "")),
+            seq=int(fields.get("seq", 0)),
+            ack_uid=ack_uid,
+            req_uid=req_uid,
+            cause_uid=cause,
+            rtt_us=float(fields.get("rtt_us", 0.0)),
+        )
+        resolved = _resolve(
+            breakdown, record.ts, first_send, last_deliver, created,
+            chain_first,
+        )
+        if resolved:
+            breakdown.exact = cause == req_uid
+        else:
+            # Causal path unresolvable (ring truncation): the whole RTT
+            # stays in the residual bucket rather than being guessed at.
+            breakdown.retransmit_wait_us = breakdown.rtt_us
+        out.append(breakdown)
+    return out
+
+
+def _resolve(
+    b: AckBreakdown,
+    ack_ts: float,
+    first_send: Dict[int, float],
+    last_deliver: Dict[int, float],
+    created: Dict[int, float],
+    chain_first: Dict[int, float],
+) -> bool:
+    """Fill ``b``'s components from the event indexes; False if gappy."""
+    w_created = created.get(b.cause_uid)
+    w_send = first_send.get(b.cause_uid)
+    w_deliver = last_deliver.get(b.cause_uid)
+    r_send = first_send.get(b.ack_uid)
+    r_deliver = last_deliver.get(b.ack_uid)
+    if None in (w_created, w_send, w_deliver, r_send, r_deliver):
+        return False
+    b.pipeline_us = (w_send - w_created) + (ack_ts - r_deliver)
+    b.wire_us = (w_deliver - w_send) + (r_deliver - r_send)
+    c_send = chain_first.get(b.cause_uid)
+    if c_send is not None:
+        b.store_us = c_send - w_deliver
+        b.chain_us = r_send - c_send
+    else:
+        b.store_us = r_send - w_deliver
+    b.retransmit_wait_us = b.rtt_us - (
+        b.pipeline_us + b.wire_us + b.store_us + b.chain_us
+    )
+    return True
+
+
+#: Component columns, in table order.
+_COMPONENTS: Tuple[str, ...] = (
+    "pipeline_us", "wire_us", "store_us", "chain_us", "retransmit_wait_us"
+)
+
+
+def flow_table(
+    breakdowns: Iterable[AckBreakdown],
+) -> List[Dict[str, object]]:
+    """Per-flow aggregate rows (ack count, mean RTT, summed components).
+
+    Rows are keyed and ordered by ``(flow, kind)``, so the table is
+    deterministic for a deterministic trace stream.
+    """
+    groups: Dict[Tuple[str, str], List[AckBreakdown]] = {}
+    for b in breakdowns:
+        groups.setdefault((b.flow, b.kind), []).append(b)
+    rows: List[Dict[str, object]] = []
+    for (flow, kind) in sorted(groups):
+        items = groups[(flow, kind)]
+        row: Dict[str, object] = {
+            "flow": flow,
+            "kind": kind,
+            "acks": len(items),
+            "rtt_total_us": sum(b.rtt_us for b in items),
+        }
+        for comp in _COMPONENTS:
+            row[comp] = sum(getattr(b, comp) for b in items)
+        row["exact"] = all(b.exact for b in items)
+        rows.append(row)
+    return rows
+
+
+def render_table(rows: List[Dict[str, object]]) -> str:
+    """Fixed-format attribution table (byte-stable across runs)."""
+    header = (
+        f"{'flow':<42} {'kind':<10} {'acks':>5} {'rtt_us':>12} "
+        f"{'pipeline':>10} {'wire':>10} {'store':>12} {'chain':>10} "
+        f"{'rtx_wait':>10}  exact"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['flow']:<42} {row['kind']:<10} {row['acks']:>5} "
+            f"{row['rtt_total_us']:>12.3f} {row['pipeline_us']:>10.3f} "
+            f"{row['wire_us']:>10.3f} {row['store_us']:>12.3f} "
+            f"{row['chain_us']:>10.3f} {row['retransmit_wait_us']:>10.3f}  "
+            f"{'yes' if row['exact'] else 'no'}"
+        )
+    if not rows:
+        lines.append("(no acknowledged requests in trace)")
+    return "\n".join(lines)
+
+
+def verify_sums(
+    breakdowns: Iterable[AckBreakdown],
+    tolerance_us: float = SUM_TOLERANCE_US,
+) -> Optional[str]:
+    """None if every breakdown's components sum to its RTT; else a
+    description of the first violation."""
+    for b in breakdowns:
+        delta = abs(b.components_sum_us - b.rtt_us)
+        if delta > tolerance_us:
+            return (
+                f"ack uid={b.ack_uid} flow={b.flow} seq={b.seq}: components "
+                f"sum {b.components_sum_us:.3f}us != rtt {b.rtt_us:.3f}us "
+                f"(delta {delta:.3f}us)"
+            )
+    return None

@@ -41,8 +41,15 @@ _CLEAR_KINDS = frozenset(
 )
 
 
-def run_campaign(name: str, seed: int = 42) -> Dict[str, object]:
-    """Run one named campaign and return its verdict report."""
+def run_campaign(
+    name: str, seed: int = 42, trace_path: Optional[str] = None
+) -> Dict[str, object]:
+    """Run one named campaign and return its verdict report.
+
+    When ``trace_path`` is given, every trace record is streamed to that
+    JSONL file as it is emitted — unlike the in-memory ring, the sink
+    never truncates, so the file supports full span reconstruction.
+    """
     try:
         campaign = CAMPAIGNS[name]
     except KeyError:
@@ -50,6 +57,8 @@ def run_campaign(name: str, seed: int = 42) -> Dict[str, object]:
         raise KeyError(f"unknown campaign {name!r}; known: {known}") from None
 
     sim = Simulator(seed=seed)
+    if trace_path is not None:
+        sim.tracer.open_sink(trace_path)
     config_kwargs = {"lease_period_us": campaign.lease_period_us}
     if campaign.retransmit_timeout_us is not None:
         config_kwargs["retransmit_timeout_us"] = campaign.retransmit_timeout_us
@@ -83,6 +92,8 @@ def run_campaign(name: str, seed: int = 42) -> Dict[str, object]:
     if coordinator is not None:
         coordinator.stop()
     sim.run(until=campaign.duration_us + DRAIN_US)
+    if trace_path is not None:
+        sim.tracer.close_sink()
 
     return _build_report(campaign, seed, dep, workload, schedule, monitor,
                          coordinator)
@@ -143,9 +154,12 @@ def _build_report(
         "chain_repairs": int(metrics.total("store.chain_repairs")),
         "chain_reconfigurations": int(
             metrics.total("store.chain_reconfigurations")),
-        "link_drops_partition": int(metrics.value("link.drops.partition")),
-        "link_drops_corrupt": int(metrics.value("link.drops.corrupt")),
-        "link_drops_gray_loss": int(metrics.value("link.drops.gray_loss")),
+        "link_drops_partition": int(
+            metrics.total("link.drops", reason="partition")),
+        "link_drops_corrupt": int(
+            metrics.total("link.drops", reason="corrupt")),
+        "link_drops_gray_loss": int(
+            metrics.total("link.drops", reason="gray_loss")),
         "link_frames_duplicated": int(metrics.total("link.duplicated")),
     }
 
@@ -175,6 +189,10 @@ def _build_report(
         "recovery_latency_us": _recovery_latencies(
             schedule, workload.delivery_times()),
         "counters": counters,
+        "trace": {
+            "records_emitted": dep.sim.tracer.records_emitted,
+            "records_dropped": dep.sim.tracer.records_dropped,
+        },
         "verdict": verdict,
     }
 

@@ -122,6 +122,7 @@ class RetransmitState:
     sent_at: float        # simulated time of the last (re)send
     timeout_us: float     # current deadline (grows by the backoff factor)
     resends: int = 0      # timeouts fired so far (storm observability)
+    uid: int = 0          # span uid of the last (re)sent request packet
 
 
 class RedPlaneEngine(ControlBlock):
@@ -289,7 +290,8 @@ class RedPlaneEngine(ControlBlock):
             flow_key=key,
             piggyback=pack_packets([ctx.pkt.to_bytes()]),
         )
-        self._send_request(ctx, msg)
+        req_uid = self._send_request(ctx, msg,
+                                     parent_uid=ctx.pkt.meta.get("uid"))
         self._c["lease_requests"].inc()
         if not pending:
             # Only the first request per flow is retransmitted; piggybacked
@@ -298,7 +300,8 @@ class RedPlaneEngine(ControlBlock):
             self.tracer.emit(
                 tt.LEASE_REQUEST, switch=self.switch.name, flow=str(key)
             )
-            self._mirror_request(msg, kind="lease_new", idx=idx)
+            self._mirror_request(msg, kind="lease_new", idx=idx,
+                                 req_uid=req_uid)
         ctx.consume()
 
     def _bounded_path(self, ctx: PipelineContext, key: FlowKey) -> bool:
@@ -353,8 +356,10 @@ class RedPlaneEngine(ControlBlock):
                 vals=view.vals(),
                 piggyback=pack_packets(outputs) if outputs else None,
             )
-            self._send_request(ctx, msg)
-            self._mirror_request(msg, kind="write", idx=idx, seq=seq)
+            req_uid = self._send_request(ctx, msg,
+                                         parent_uid=pkt.meta.get("uid"))
+            self._mirror_request(msg, kind="write", idx=idx, seq=seq,
+                                 req_uid=req_uid)
             self._c["writes_replicated"].inc()
             ctx.consume()
             return False
@@ -375,7 +380,7 @@ class RedPlaneEngine(ControlBlock):
                 flow_key=key,
                 piggyback=pack_packets([pkt.to_bytes()]),
             )
-            self._send_request(ctx, msg)
+            self._send_request(ctx, msg, parent_uid=pkt.meta.get("uid"))
             self._c["reads_buffered"].inc()
             ctx.consume()
             return False
@@ -401,9 +406,10 @@ class RedPlaneEngine(ControlBlock):
             msg = RedPlaneMessage(
                 seq=0, msg_type=MessageType.LEASE_RENEW_REQ, flow_key=key
             )
-            self._send_request(ctx, msg)
+            req_uid = self._send_request(ctx, msg,
+                                         parent_uid=ctx.pkt.meta.get("uid"))
             self._renew_outstanding.add(idx)
-            self._mirror_request(msg, kind="renew", idx=idx)
+            self._mirror_request(msg, kind="renew", idx=idx, req_uid=req_uid)
             self._c["lease_renewals"].inc()
             self.tracer.emit(
                 tt.LEASE_RENEW, switch=self.switch.name, flow=str(key)
@@ -447,12 +453,48 @@ class RedPlaneEngine(ControlBlock):
         else:
             self._c["stale_acks_ignored"].inc()
 
+    def _emit_ack(
+        self,
+        ctx: PipelineContext,
+        kind: str,
+        flow: FlowKey,
+        seq: int,
+        rtx: RetransmitState,
+        rtt_us: float,
+    ) -> None:
+        """Trace one released request copy with its measured RTT.
+
+        ``uid`` is the span of the acknowledgment packet itself; ``cause``
+        is the request copy whose arrival at the store produced it (the
+        *winning* copy, threaded through the store via packet meta);
+        ``req_uid`` is the copy the engine's RTT window was measured from
+        (the latest resend — equal to ``cause`` unless an earlier copy's
+        ack won the race).
+        """
+        meta = ctx.pkt.meta
+        fields: Dict[str, object] = {
+            "switch": self.switch.name,
+            "kind": kind,
+            "flow": str(flow),
+            "seq": seq,
+            "uid": meta.get("uid", 0),
+            "req_uid": rtx.uid,
+            "rtt_us": rtt_us,
+        }
+        cause = meta.get("parent_uid")
+        if cause is not None:
+            fields["cause"] = cause
+        self.tracer.emit(tt.RP_ACK, **fields)
+
     def _handle_lease_new_ack(
         self, ctx: PipelineContext, msg: RedPlaneMessage, idx: int, now: float
     ) -> None:
         copy = self._copy_lease.pop(idx, None)
         if copy is not None:
-            self._h_ack_rtt.observe(now - self._rtx_of(copy).sent_at)
+            rtx = self._rtx_of(copy)
+            rtt = now - rtx.sent_at
+            self._h_ack_rtt.observe(rtt)
+            self._emit_ack(ctx, "lease_new", msg.flow_key, msg.seq, rtx, rtt)
             self.mirror.release(copy)
         was_pending = self.reg_lease_pending.access(ctx, idx, lambda old: (0, old))
         if was_pending:
@@ -485,17 +527,19 @@ class RedPlaneEngine(ControlBlock):
                 # installed through the switch control plane; the held
                 # packet is released only once the install completes.
                 self.switch.control_plane.submit(
-                    self._finish_install, idx, msg.piggyback
+                    self._finish_install, idx, msg.piggyback,
+                    ctx.pkt.meta.get("uid")
                 )
                 return
             self._state_installed.add(idx)
         else:
             self._extend_lease(ctx, idx, now)
-        self._reinject_piggyback(msg.piggyback)
+        self._reinject_piggyback(msg.piggyback, ctx.pkt.meta.get("uid"))
 
-    def _finish_install(self, idx: int, piggyback: Optional[bytes]) -> None:
+    def _finish_install(self, idx: int, piggyback: Optional[bytes],
+                        parent_uid: Optional[int] = None) -> None:
         self._state_installed.add(idx)
-        self._reinject_piggyback(piggyback)
+        self._reinject_piggyback(piggyback, parent_uid)
 
     def _handle_write_ack(
         self, ctx: PipelineContext, msg: RedPlaneMessage, idx: int, now: float
@@ -508,12 +552,18 @@ class RedPlaneEngine(ControlBlock):
         if copies:
             for seq in [s for s in copies if s <= msg.seq]:
                 copy = copies.pop(seq)
-                self._h_ack_rtt.observe(now - self._rtx_of(copy).sent_at)
+                rtx = self._rtx_of(copy)
+                rtt = now - rtx.sent_at
+                self._h_ack_rtt.observe(rtt)
+                self._emit_ack(ctx, "write", msg.flow_key, seq, rtx, rtt)
                 self.mirror.release(copy)
         self._extend_lease(ctx, idx, now)
         if msg.piggyback is not None:
+            resp_uid = ctx.pkt.meta.get("uid")
             for raw in unpack_packets(msg.piggyback):
                 out = Packet.from_bytes(raw)
+                if resp_uid is not None:
+                    out.meta["parent_uid"] = resp_uid
                 self._c["piggybacks_released"].inc()
                 self._record("output", msg.flow_key, out)
                 ctx.emit(out)
@@ -523,18 +573,18 @@ class RedPlaneEngine(ControlBlock):
     ) -> None:
         if msg.piggyback is None:
             return
+        resp_uid = ctx.pkt.meta.get("uid")
         if msg.aux == _AUX_UNPROCESSED:
             # The packet was never processed (lease was pending when it
             # arrived); run it through the pipeline again.
-            for raw in unpack_packets(msg.piggyback):
-                pkt = Packet.from_bytes(raw)
-                pkt.meta["rp_reinjected"] = True
-                self.switch.inject(pkt)
+            self._reinject_piggyback(msg.piggyback, resp_uid)
             return
         last_acked = self.reg_last_acked.read(ctx, idx)
         if last_acked >= msg.seq:
             for raw in unpack_packets(msg.piggyback):
                 out = Packet.from_bytes(raw)
+                if resp_uid is not None:
+                    out.meta["parent_uid"] = resp_uid
                 self._c["piggybacks_released"].inc()
                 self._record("output", msg.flow_key, out)
                 ctx.emit(out)
@@ -547,32 +597,60 @@ class RedPlaneEngine(ControlBlock):
                 flow_key=msg.flow_key,
                 piggyback=msg.piggyback,
             )
-            self._send_request(ctx, again)
+            self._send_request(ctx, again, parent_uid=resp_uid)
             self._c["reads_buffered"].inc()
 
-    def _reinject_piggyback(self, piggyback: Optional[bytes]) -> None:
+    def _reinject_piggyback(self, piggyback: Optional[bytes],
+                            parent_uid: Optional[int] = None) -> None:
         if piggyback is None:
             return
         for raw in unpack_packets(piggyback):
             pkt = Packet.from_bytes(raw)
             pkt.meta["rp_reinjected"] = True
+            if parent_uid is not None:
+                pkt.meta["parent_uid"] = parent_uid
             self.switch.inject(pkt)
 
     # ------------------------------------------------------------------
     # request transmission and retransmission
     # ------------------------------------------------------------------
 
-    def _send_request(self, ctx: Optional[PipelineContext], msg: RedPlaneMessage) -> None:
+    def _send_request(
+        self,
+        ctx: Optional[PipelineContext],
+        msg: RedPlaneMessage,
+        parent_uid: Optional[int] = None,
+    ) -> int:
+        """Build, span-tag, trace, and emit one request packet.
+
+        Returns the new packet's span uid. ``parent_uid`` records causality
+        (the app packet that triggered the request, the timed-out copy a
+        resend supersedes, the ack that bounced a read-buffer request).
+        """
         shard = self.shard_map.shard_for(msg.flow_key)
         pkt = make_protocol_packet(self.switch.ip, shard.ip, msg, dport=shard.udp_port)
+        uid = self.switch.sim.new_uid()
+        pkt.meta["uid"] = uid
+        fields: Dict[str, object] = {
+            "switch": self.switch.name,
+            "kind": msg.msg_type.name.lower(),
+            "flow": str(msg.flow_key),
+            "seq": msg.seq,
+            "uid": uid,
+        }
+        if parent_uid is not None:
+            pkt.meta["parent_uid"] = parent_uid
+            fields["parent"] = parent_uid
+        self.tracer.emit(tt.RP_REQUEST, **fields)
         if ctx is not None:
             ctx.emit(pkt)
         else:
             self.switch.emit_from_pipeline(pkt)
+        return uid
 
     def send_snapshot_request(self, msg: RedPlaneMessage, retransmit: bool = True) -> None:
         """Used by the snapshot replicator (§5.4) to ship one slot value."""
-        self._send_request(None, msg)
+        req_uid = self._send_request(None, msg)
         self.tracer.emit(
             tt.SNAPSHOT,
             switch=self.switch.name,
@@ -580,10 +658,12 @@ class RedPlaneEngine(ControlBlock):
             epoch=msg.seq,
         )
         if retransmit:
-            self._mirror_request(msg, kind="snapshot", idx=-1, seq=msg.seq)
+            self._mirror_request(msg, kind="snapshot", idx=-1, seq=msg.seq,
+                                 req_uid=req_uid)
 
     def _mirror_request(
-        self, msg: RedPlaneMessage, kind: str, idx: int, seq: int = 0
+        self, msg: RedPlaneMessage, kind: str, idx: int, seq: int = 0,
+        req_uid: int = 0,
     ) -> None:
         """Mirror a truncated copy of a request for retransmission (§5.2)."""
         header_only = RedPlaneMessage(
@@ -598,6 +678,10 @@ class RedPlaneEngine(ControlBlock):
         pkt = make_protocol_packet(
             self.switch.ip, shard.ip, header_only, dport=shard.udp_port
         )
+        # Lineage: the circulating copy descends from the request it would
+        # retransmit; the mirror session records this on the copy's meta.
+        if req_uid:
+            pkt.meta["parent_uid"] = req_uid
         rtx = RetransmitState(
             kind=kind,
             idx=idx,
@@ -605,6 +689,7 @@ class RedPlaneEngine(ControlBlock):
             msg=header_only,
             sent_at=self.switch.sim.now,
             timeout_us=self.config.retransmit_timeout_us,
+            uid=req_uid,
         )
         copy = self.mirror.mirror(pkt, meta={"rtx": rtx})
         if kind == "write":
@@ -624,7 +709,7 @@ class RedPlaneEngine(ControlBlock):
             return False
         now = self.switch.sim.now
         if now - rtx.sent_at >= rtx.timeout_us:
-            self._send_request(None, rtx.msg)
+            new_uid = self._send_request(None, rtx.msg, parent_uid=rtx.uid)
             self._c["retransmissions"].inc()
             self.tracer.emit(
                 tt.RETRANSMIT,
@@ -633,7 +718,12 @@ class RedPlaneEngine(ControlBlock):
                 flow=str(rtx.msg.flow_key),
                 seq=rtx.msg.seq,
                 timeout_us=rtx.timeout_us,
+                uid=new_uid,
+                parent=rtx.uid,
             )
+            # Resends chain: each supersedes the previous copy, and the
+            # engine's RTT window restarts from the latest one (sent_at).
+            rtx.uid = new_uid
             rtx.sent_at = now
             rtx.resends += 1
             rtx.timeout_us = min(

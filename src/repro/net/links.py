@@ -178,6 +178,10 @@ class Link:
         }
         self._ctr_queue_drops = m.counter("link.queue_drops", link=self.name)
         self._ctr_duplicated = m.counter("link.duplicated", link=self.name)
+        #: ``link.drops{link,reason}`` handles, created lazily per reason
+        #: (the legacy flat ``link.drops.<reason>`` names remain readable
+        #: through ``Simulator.counters`` as compat views).
+        self._ctr_drops: Dict[str, object] = {}
         #: Per-direction transmit-queue drain time: packets serialize one
         #: after another, so a burst queues (and TCP sees real bandwidth).
         self._busy_until: Dict[int, float] = {id(a): 0.0, id(b): 0.0}
@@ -199,22 +203,55 @@ class Link:
         return bits / (self.bandwidth_gbps * 1000.0)
 
     def _drop(self, pkt: Packet, src_port: Port, reason: str) -> None:
-        self.sim.count(f"link.drops.{reason}")
+        ctr = self._ctr_drops.get(reason)
+        if ctr is None:
+            ctr = self._ctr_drops[reason] = self.sim.metrics.counter(
+                "link.drops", link=self.name, reason=reason
+            )
+        ctr.inc()
         self.sim.tracer.emit(
             tt.PACKET_DROP,
             link=self.name,
             dir=self._dir_names[id(src_port)],
             reason=reason,
             bytes=pkt.byte_size(),
+            uid=pkt.meta.get("uid", 0),
         )
 
     def transmit(self, pkt: Packet, src_port: Port) -> None:
         """Send a packet from ``src_port`` toward the other end."""
+        # Span correlation: a packet gets its uid on first wire contact and
+        # keeps it hop to hop (meta travels with the object, not the wire).
+        meta = pkt.meta
+        uid = meta.get("uid")
+        if uid is None:
+            uid = meta["uid"] = self.sim.new_uid()
+        key = id(src_port)
+        # Flow tag computed once per packet lifetime and cached in meta so
+        # per-flow timelines can filter sends without joining other records.
+        flow = meta.get("flow_s")
+        if flow is None and pkt.ip is not None:
+            flow = meta["flow_s"] = str(pkt.flow_key())
+        # The send record marks the packet *entering* the link direction —
+        # emitted before the down/partition/loss/queue verdicts so every
+        # wire-level drop pairs with an origin (span completeness).
+        send_fields: Dict[str, object] = {
+            "link": self.name,
+            "dir": self._dir_names[key],
+            "bytes": pkt.byte_size(),
+            "uid": uid,
+            "kind": meta.get("rp_kind", "app"),
+        }
+        if flow is not None:
+            send_fields["flow"] = flow
+        parent = meta.get("parent_uid")
+        if parent is not None:
+            send_fields["parent"] = parent
+        self.sim.tracer.emit(tt.PACKET_SEND, **send_fields)
         if not self.up:
             self._drop(pkt, src_port, "down")
             return
         dst_port = self.other_end(src_port)
-        key = id(src_port)
         impairment = self._impairments.get(key)
         if impairment is not None and impairment.blocked:
             # Asymmetric partition: this direction is a silent blackhole.
@@ -266,26 +303,27 @@ class Link:
                 link=self.name,
                 dir=self._dir_names[key],
                 delay_us=delay,
+                uid=uid,
             )
-        self.sim.tracer.emit(
-            tt.PACKET_SEND,
-            link=self.name,
-            dir=self._dir_names[key],
-            bytes=pkt.byte_size(),
-        )
         self.sim.schedule(delay, self._deliver, pkt, dst_port, corrupted)
         if duplicated:
             # The duplicate serializes right behind the original and is a
-            # distinct object downstream (each copy is processed once).
+            # distinct object downstream (each copy is processed once); it
+            # gets its own span uid with the original as parent.
             self._ctr_duplicated.inc()
+            dup_pkt = pkt.copy()
+            dup_uid = dup_pkt.meta["uid"] = self.sim.new_uid()
+            dup_pkt.meta["parent_uid"] = uid
             self.sim.tracer.emit(
                 tt.PACKET_DUP,
                 link=self.name,
                 dir=self._dir_names[key],
                 bytes=pkt.byte_size(),
+                uid=dup_uid,
+                parent=uid,
             )
             self.sim.schedule(
-                delay + ser_us, self._deliver, pkt.copy(), dst_port, corrupted
+                delay + ser_us, self._deliver, dup_pkt, dst_port, corrupted
             )
 
     def _deliver(self, pkt: Packet, dst_port: Port,
@@ -303,6 +341,13 @@ class Link:
         if node.failed:
             self._drop(pkt, src_port, "node_failed")
             return
+        self.sim.tracer.emit(
+            tt.PACKET_DELIVER,
+            link=self.name,
+            dir=self._dir_names[id(src_port)],
+            node=node.name,
+            uid=pkt.meta.get("uid", 0),
+        )
         node.receive(pkt, dst_port)
 
     # -- failure injection ------------------------------------------------------

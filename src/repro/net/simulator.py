@@ -64,6 +64,10 @@ class Simulator:
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._events_executed = 0
+        # Correlation ids for packet-lifecycle spans: allocation order is
+        # event-execution order, so ids are deterministic per seed and
+        # never touch the RNG or the event heap.
+        self._uid_seq = itertools.count(1)
         #: The run's metric registry: every component publishes through it.
         self.metrics = MetricRegistry()
         #: The run's trace ring; timestamps are this clock's simulated time.
@@ -142,6 +146,23 @@ class Simulator:
     def count(self, key: str, amount: float = 1.0) -> None:
         """Increment a named experiment counter (registry-backed)."""
         self.metrics.counter(key).inc(amount)
+
+    def new_uid(self) -> int:
+        """Allocate the next packet-span correlation id (monotonic, >= 1)."""
+        return next(self._uid_seq)
+
+    def tag_packet(self, pkt: Any) -> int:
+        """Ensure ``pkt.meta['uid']`` is set; returns the packet's uid.
+
+        The uid identifies one physical copy of a packet across its whole
+        lifetime; derived copies (duplicates, retransmissions, replies,
+        released piggybacks) get fresh uids with ``meta['parent_uid']``
+        pointing at the packet that caused them.
+        """
+        uid = pkt.meta.get("uid")
+        if uid is None:
+            uid = pkt.meta["uid"] = self.new_uid()
+        return uid
 
     @property
     def pending_events(self) -> int:

@@ -74,8 +74,11 @@ class FlowRecord:
     last_seq: int = 0
     owner_ip: Optional[int] = None
     lease_expiry: float = 0.0
-    #: Buffered lease requests from other switches (head node only).
-    pending: Deque[Tuple[RedPlaneMessage, int]] = field(default_factory=deque)
+    #: Buffered lease requests from other switches (head node only), as
+    #: ``(msg, requester_ip, origin_uid)`` — the origin uid is the span id
+    #: of the request packet, threaded into the eventual reply's lineage.
+    pending: Deque[Tuple[RedPlaneMessage, int, int]] = field(
+        default_factory=deque)
     #: Bounded-inconsistency snapshots: slot index -> (value, epoch seq).
     snapshot_vals: Dict[int, int] = field(default_factory=dict)
     snapshot_seqs: Dict[int, int] = field(default_factory=dict)
@@ -112,12 +115,16 @@ class StateStoreNode(Host):
         #: Next node in the chain (None for the tail / unreplicated store).
         self.successor_ip: Optional[int] = None
         #: Chain updates forwarded downstream and not yet acknowledged:
-        #: key -> (version, reply, requester_ip, upstream_ip). ``version``
-        #: is the (last_seq, lease_expiry) pair the update carried;
-        #: ``upstream_ip`` is where the update came from (None at the head)
-        #: and where the eventual chain ack is forwarded.
+        #: key -> (version, reply, requester_ip, upstream_ip, origin_uid).
+        #: ``version`` is the (last_seq, lease_expiry) pair the update
+        #: carried; ``upstream_ip`` is where the update came from (None at
+        #: the head) and where the eventual chain ack is forwarded;
+        #: ``origin_uid`` is the span id of the request packet that caused
+        #: the update (0 when unknown), kept so a post-splice
+        #: re-propagation preserves the reply's lineage.
         self._chain_inflight: Dict[
-            FlowKey, Tuple[Tuple[int, float], RedPlaneMessage, int, Optional[int]]
+            FlowKey,
+            Tuple[Tuple[int, float], RedPlaneMessage, int, Optional[int], int],
         ] = {}
         self.bind(STORE_UDP_PORT, self._on_request_packet)
         self.bind(CHAIN_UDP_PORT, self._on_chain_packet)
@@ -165,11 +172,16 @@ class StateStoreNode(Host):
             self.records[key] = rec
         return rec
 
-    def _reply(self, msg: RedPlaneMessage, to_ip: int) -> None:
+    def _reply(self, msg: RedPlaneMessage, to_ip: int,
+               origin_uid: int = 0) -> None:
         # Processing time was already paid on the receive path.
         pkt = make_protocol_packet(
             self.ip, to_ip, msg, sport=STORE_UDP_PORT, dport=SWITCH_UDP_PORT
         )
+        if origin_uid:
+            # The reply's span descends from the request copy that won the
+            # race to the store; the switch reads this as the ack's cause.
+            pkt.meta["parent_uid"] = origin_uid
         self.send(pkt)
 
     # -- request path (chain head) -------------------------------------------
@@ -177,15 +189,18 @@ class StateStoreNode(Host):
     def _on_request_packet(self, pkt: Packet) -> None:
         msg = parse_protocol_packet(pkt)
         requester_ip = pkt.ip.src
+        origin_uid = int(pkt.meta.get("uid", 0))
         delay = self.proc_delay_us
         if self.service_time_us > 0.0:
             # Finite-capacity server: requests serialize through it.
             start = max(self.sim.now, self._busy_until)
             self._busy_until = start + self.service_time_us
             delay = (self._busy_until - self.sim.now)
-        self.sim.schedule(delay, self._process_request, msg, requester_ip)
+        self.sim.schedule(delay, self._process_request, msg, requester_ip,
+                          origin_uid)
 
-    def _process_request(self, msg: RedPlaneMessage, requester_ip: int) -> None:
+    def _process_request(self, msg: RedPlaneMessage, requester_ip: int,
+                         origin_uid: int = 0) -> None:
         if self.failed:
             return
         self._c_requests.inc()
@@ -201,14 +216,15 @@ class StateStoreNode(Host):
                 flow_key=msg.flow_key,
                 piggyback=msg.piggyback,
             )
-            self._reply(reply, requester_ip)
+            self._reply(reply, requester_ip, origin_uid)
             return
 
         if msg.msg_type is MessageType.SNAPSHOT_REPL_REQ:
             # Asynchronous snapshots are filtered by epoch sequencing only;
             # they never block on leases (bounded-inconsistency mode, §5.4).
             reply = self._apply(rec, msg, requester_ip, now)
-            self._propagate_or_reply(msg.flow_key, rec, reply, requester_ip)
+            self._propagate_or_reply(msg.flow_key, rec, reply, requester_ip,
+                                     origin_uid=origin_uid)
             return
 
         if rec.held_by_other(requester_ip, now):
@@ -219,10 +235,10 @@ class StateStoreNode(Host):
             # piggybacked requests are distinct held packets and all kept.
             if msg.piggyback is None and any(
                 p_msg.msg_type is msg.msg_type and p_ip == requester_ip
-                for p_msg, p_ip in rec.pending
+                for p_msg, p_ip, _p_uid in rec.pending
             ):
                 return
-            rec.pending.append((msg, requester_ip))
+            rec.pending.append((msg, requester_ip, origin_uid))
             self._c_buffered.inc()
             self.sim.schedule_at(
                 rec.lease_expiry + 1e-6, self._drain_pending, msg.flow_key
@@ -230,7 +246,8 @@ class StateStoreNode(Host):
             return
 
         reply = self._apply(rec, msg, requester_ip, now)
-        self._propagate_or_reply(msg.flow_key, rec, reply, requester_ip)
+        self._propagate_or_reply(msg.flow_key, rec, reply, requester_ip,
+                                 origin_uid=origin_uid)
 
     def _apply(
         self,
@@ -317,7 +334,7 @@ class StateStoreNode(Host):
             return
         now = self.sim.now
         if rec.lease_active(now):
-            head_msg, head_ip = rec.pending[0]
+            head_msg, head_ip, _head_uid = rec.pending[0]
             if rec.owner_ip != head_ip:
                 # Still owned by someone else; wait for the new expiry.
                 self.sim.schedule_at(
@@ -325,15 +342,16 @@ class StateStoreNode(Host):
                 )
                 return
         while rec.pending:
-            msg, requester_ip = rec.pending.popleft()
+            msg, requester_ip, origin_uid = rec.pending.popleft()
             if rec.held_by_other(requester_ip, now):
-                rec.pending.appendleft((msg, requester_ip))
+                rec.pending.appendleft((msg, requester_ip, origin_uid))
                 self.sim.schedule_at(
                     rec.lease_expiry + 1e-6, self._drain_pending, key
                 )
                 return
             reply = self._apply(rec, msg, requester_ip, now)
-            self._propagate_or_reply(key, rec, reply, requester_ip)
+            self._propagate_or_reply(key, rec, reply, requester_ip,
+                                     origin_uid=origin_uid)
 
     # -- chain replication ------------------------------------------------------
 
@@ -344,18 +362,22 @@ class StateStoreNode(Host):
         reply: RedPlaneMessage,
         requester_ip: int,
         upstream_ip: Optional[int] = None,
+        origin_uid: int = 0,
     ) -> None:
         if self.successor_ip is None:
-            self._reply(reply, requester_ip)
+            self._reply(reply, requester_ip, origin_uid)
             if upstream_ip is not None:
                 # Tail: confirm the update up-chain so predecessors can
                 # retire their in-flight copies.
                 self._send_chain_ack(
-                    key, rec.last_seq, rec.lease_expiry, upstream_ip
+                    key, rec.last_seq, rec.lease_expiry, upstream_ip,
+                    origin_uid,
                 )
             return
         version = (rec.last_seq, rec.lease_expiry)
-        self._chain_inflight[key] = (version, reply, requester_ip, upstream_ip)
+        self._chain_inflight[key] = (
+            version, reply, requester_ip, upstream_ip, origin_uid
+        )
         payload = bytes([_CHAIN_UPDATE]) + _pack_chain_update(
             key, rec, reply, requester_ip
         )
@@ -363,16 +385,24 @@ class StateStoreNode(Host):
             self.ip, self.successor_ip, CHAIN_UDP_PORT, CHAIN_UDP_PORT, payload
         )
         pkt.meta["rp_kind"] = "chain"
+        if origin_uid:
+            # Chain updates (and, at the tail, the reply) descend from the
+            # request copy that reached the head; the meta slot doubles as
+            # the origin-uid carrier between chain hops.
+            pkt.meta["parent_uid"] = origin_uid
         self.send(pkt)
 
     def _send_chain_ack(
-        self, key: FlowKey, seq: int, expiry: float, to_ip: int
+        self, key: FlowKey, seq: int, expiry: float, to_ip: int,
+        origin_uid: int = 0,
     ) -> None:
         payload = bytes([_CHAIN_ACK]) + struct.pack(
             "!13sId", key.pack(), seq & 0xFFFFFFFF, expiry
         )
         pkt = Packet.udp(self.ip, to_ip, CHAIN_UDP_PORT, CHAIN_UDP_PORT, payload)
         pkt.meta["rp_kind"] = "chain"
+        if origin_uid:
+            pkt.meta["parent_uid"] = origin_uid
         self.send(pkt)
 
     def _on_chain_packet(self, pkt: Packet) -> None:
@@ -382,9 +412,10 @@ class StateStoreNode(Host):
             self._handle_chain_ack(FlowKey.unpack(key_bytes), seq, expiry)
             return
         key, state, reply, requester_ip = _unpack_chain_update(body)
+        origin_uid = int(pkt.meta.get("parent_uid", 0))
         self.sim.schedule(
             self.proc_delay_us, self._apply_chain, key, state, reply,
-            requester_ip, pkt.ip.src,
+            requester_ip, pkt.ip.src, origin_uid,
         )
 
     def _handle_chain_ack(self, key: FlowKey, seq: int, expiry: float) -> None:
@@ -393,14 +424,14 @@ class StateStoreNode(Host):
         entry = self._chain_inflight.get(key)
         if entry is None:
             return
-        version, _reply, _requester_ip, upstream_ip = entry
+        version, _reply, _requester_ip, upstream_ip, origin_uid = entry
         if version <= (seq, expiry):
             del self._chain_inflight[key]
         if upstream_ip is not None:
             # Relay the confirmation toward the head with the *received*
             # version: an ack for an older update must not retire a newer
             # in-flight copy held upstream.
-            self._send_chain_ack(key, seq, expiry, upstream_ip)
+            self._send_chain_ack(key, seq, expiry, upstream_ip, origin_uid)
 
     def _apply_chain(
         self,
@@ -409,6 +440,7 @@ class StateStoreNode(Host):
         reply: RedPlaneMessage,
         requester_ip: int,
         upstream_ip: Optional[int] = None,
+        origin_uid: int = 0,
     ) -> None:
         if self.failed:
             return
@@ -431,7 +463,9 @@ class StateStoreNode(Host):
                 rec.snapshot_seqs[reply.aux] = reply.seq
         # The reply (and its piggybacked outputs) must travel regardless:
         # even a stale-looking update acknowledges a real request.
-        self._propagate_or_reply(key, rec, reply, requester_ip, upstream_ip)
+        self._propagate_or_reply(
+            key, rec, reply, requester_ip, upstream_ip, origin_uid=origin_uid
+        )
 
     def repropagate_inflight(self) -> int:
         """Re-send every unacknowledged chain update down the current chain.
@@ -447,9 +481,11 @@ class StateStoreNode(Host):
             return 0
         stranded = list(self._chain_inflight.items())
         self._chain_inflight.clear()
-        for key, (_version, reply, requester_ip, upstream_ip) in stranded:
+        for key, (_version, reply, requester_ip, upstream_ip,
+                  origin_uid) in stranded:
             self._propagate_or_reply(
-                key, self.record(key), reply, requester_ip, upstream_ip
+                key, self.record(key), reply, requester_ip, upstream_ip,
+                origin_uid=origin_uid,
             )
         self._c_repairs.inc(len(stranded))
         self.sim.tracer.emit(

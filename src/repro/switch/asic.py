@@ -127,6 +127,9 @@ class SwitchASIC(L3Switch):
 
     def inject(self, pkt: Packet) -> None:
         """Entry point for generated / CPU-reinjected packets."""
+        # Injected packets never crossed a link, so they have no span uid
+        # yet; tag here so requests they trigger can reference a parent.
+        self.sim.tag_packet(pkt)
         self.process(pkt)
 
     def process(self, pkt: Packet) -> None:

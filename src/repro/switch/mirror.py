@@ -84,10 +84,18 @@ class MirrorSession:
                 f"mirror session {self.session_id} has no pass handler"
             )
         dup = pkt.copy()
+        # The copy is a derived object: it must not impersonate the span of
+        # the packet it was mirrored from — demote an inherited uid to the
+        # parent slot (resends create fresh packets with their own uids).
+        inherited_uid = dup.meta.pop("uid", None)
+        if inherited_uid is not None and "parent_uid" not in dup.meta:
+            dup.meta["parent_uid"] = inherited_uid
         if self.truncate_to_bytes is not None:
             dup.meta["truncated_to"] = self.truncate_to_bytes
         copy_meta: Dict[str, object] = dict(meta or {})
         copy_meta["mirror_ts"] = self.asic.sim.now
+        if dup.meta.get("parent_uid") is not None:
+            copy_meta["parent_uid"] = dup.meta["parent_uid"]
         copy = MirrorCopy(dup, copy_meta, self.buffered_size(dup))
         self._g_active.add(1)
         self._c_mirrored.inc()

@@ -25,17 +25,29 @@ from repro.telemetry.metrics import (
     MetricRegistry,
     percentile,
 )
+from repro.telemetry.perfetto import (
+    dump_chrome_trace,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.telemetry.spans import CompletenessReport, PacketSpan, SpanBuilder
 from repro.telemetry.timers import ScopedTimer
 from repro.telemetry.trace import TraceRecord, Tracer, read_jsonl
 
 __all__ = [
+    "CompletenessReport",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricRegistry",
+    "PacketSpan",
     "ScopedTimer",
+    "SpanBuilder",
     "TraceRecord",
     "Tracer",
+    "dump_chrome_trace",
+    "export_chrome_trace",
     "percentile",
     "read_jsonl",
+    "validate_chrome_trace",
 ]

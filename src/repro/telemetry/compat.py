@@ -16,13 +16,21 @@ from typing import Dict, Iterator, Mapping, MutableMapping
 from repro.telemetry.metrics import Counter, MetricRegistry
 
 
+#: Prefix of the historical flat drop-counter names, now synthesized from
+#: the labeled ``link.drops{link,reason}`` counters.
+_FLAT_LINK_DROPS = "link.drops."
+
+
 class LegacyCounters(MutableMapping):
     """``Simulator.counters`` shim: a dict view of unlabeled counters.
 
     Reads reflect the registry live. Writes still work (some old
     experiment code resets counters between phases) but warn; deletion
     likewise. Labeled instruments never appear here — the legacy dict
-    only ever held the flat ``sim.count()`` namespace.
+    only ever held the flat ``sim.count()`` namespace — with one
+    exception: the historical ``link.drops.<reason>`` names read as
+    reason-wise totals over the labeled ``link.drops`` counters that
+    replaced them.
     """
 
     def __init__(self, registry: MetricRegistry) -> None:
@@ -34,8 +42,24 @@ class LegacyCounters(MutableMapping):
             raise KeyError(key)
         return inst
 
+    def _link_drop_reasons(self) -> Iterator[str]:
+        seen = set()
+        for inst in self._registry.instruments("link.drops"):
+            if isinstance(inst, Counter) and inst.labels:
+                reason = inst.label_dict.get("reason")
+                if reason is not None and reason not in seen:
+                    seen.add(reason)
+                    yield reason
+
     def __getitem__(self, key: str) -> float:
-        return self._counter(key).value
+        try:
+            return self._counter(key).value
+        except KeyError:
+            if key.startswith(_FLAT_LINK_DROPS):
+                reason = key[len(_FLAT_LINK_DROPS):]
+                if reason in set(self._link_drop_reasons()):
+                    return self._registry.total("link.drops", reason=reason)
+            raise
 
     def __setitem__(self, key: str, value: float) -> None:
         warnings.warn(
@@ -60,6 +84,8 @@ class LegacyCounters(MutableMapping):
         for inst in self._registry.instruments():
             if isinstance(inst, Counter) and not inst.labels:
                 yield inst.name
+        for reason in sorted(self._link_drop_reasons()):
+            yield _FLAT_LINK_DROPS + reason
 
     def __len__(self) -> int:
         return sum(1 for _ in iter(self))

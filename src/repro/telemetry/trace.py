@@ -15,10 +15,13 @@ The trace vocabulary (see docs/TELEMETRY.md for the full field schema):
 =====================  ====================================================
 type                   emitted when
 =====================  ====================================================
-``packet.send``        a link serializes a packet toward the far end
+``packet.send``        a packet enters a link direction (even if dropped)
+``packet.deliver``     a packet reaches the node at the far end of a link
 ``packet.drop``        a packet dies (loss, down link, queue, dead node)
 ``packet.reorder``     a link delays a packet past its successors
 ``packet.dup``         an impaired link duplicates a packet on the wire
+``rp.request``         the protocol engine creates one request packet
+``rp.ack``             an acknowledged request copy is released (with RTT)
 ``lease.request``      a switch asks the store for a flow's lease
 ``lease.grant``        a lease (plus migrated state) is installed
 ``lease.renew``        an explicit renewal is sent
@@ -40,9 +43,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, TextIO
 
 PACKET_SEND = "packet.send"
+PACKET_DELIVER = "packet.deliver"
 PACKET_DROP = "packet.drop"
 PACKET_REORDER = "packet.reorder"
 PACKET_DUP = "packet.dup"
+RP_REQUEST = "rp.request"
+RP_ACK = "rp.ack"
 LEASE_REQUEST = "lease.request"
 LEASE_GRANT = "lease.grant"
 LEASE_RENEW = "lease.renew"

@@ -7,6 +7,9 @@ Usage::
     python -m repro.tools run all           # everything (slow)
     python -m repro.tools metrics           # telemetry snapshot of a demo run
     python -m repro.tools trace --tail 20   # trace tail of a demo run
+    python -m repro.tools spans             # span completeness + attribution
+    python -m repro.tools timeline --out t.json --validate  # Perfetto export
+    python -m repro.tools timeline <flow>   # one flow's causal timeline
     python -m repro.tools chaos --list      # chaos campaign inventory
     python -m repro.tools chaos gray_link   # one chaos campaign + verdict
 
@@ -96,7 +99,8 @@ def run_experiment(name: str, extra_args: Optional[List[str]] = None) -> int:
     return subprocess.call(cmd)
 
 
-def demo_run(seed: int = 7, packets: int = 10, fail_owner: bool = True):
+def demo_run(seed: int = 7, packets: int = 10, fail_owner: bool = True,
+             trace_path: Optional[str] = None):
     """Run the quickstart scenario in-process; returns the simulator.
 
     Deploys :class:`~repro.apps.counter.SyncCounterApp` on the paper
@@ -104,12 +108,16 @@ def demo_run(seed: int = 7, packets: int = 10, fail_owner: bool = True):
     switch (exercising lease migration and store traffic), then asks each
     engine to publish its resource gauges — so the registry ends up with
     a representative population of counters, gauges, and histograms.
+    ``trace_path`` streams the full record stream to a JSONL sink (the
+    ring can truncate; the sink cannot).
     """
     from repro import Simulator, deploy
     from repro.apps.counter import SyncCounterApp
     from repro.net.packet import Packet
 
     sim = Simulator(seed=seed)
+    if trace_path is not None:
+        sim.tracer.open_sink(trace_path)
     dep = deploy(sim, SyncCounterApp)
     sender = dep.bed.externals[0]
     receiver = dep.bed.servers[0]
@@ -132,6 +140,8 @@ def demo_run(seed: int = 7, packets: int = 10, fail_owner: bool = True):
 
     for engine in dep.engines.values():
         engine.resource_usage()
+    if trace_path is not None:
+        sim.tracer.close_sink()
     return sim
 
 
@@ -155,6 +165,12 @@ def show_trace(seed: int, packets: int, tail: int, as_json: bool,
     print(f"# {emitted} records emitted, {retained} retained "
           f"(ring maxlen {sim.tracer.maxlen}); showing last {tail}",
           file=sys.stderr)
+    dropped = sim.tracer.records_dropped
+    if dropped:
+        print(f"WARNING: ring truncated {dropped} records; span "
+              f"reconstruction over this trace will report orphans — "
+              f"use a JSONL sink for complete lifecycles",
+              file=sys.stderr)
     for record in sim.tracer.tail(tail):
         if as_json:
             print(record.to_json())
@@ -164,9 +180,98 @@ def show_trace(seed: int, packets: int, tail: int, as_json: bool,
     return 0
 
 
+def _demo_records(seed: int, packets: int):
+    """Quickstart run with a complete (sink-backed) record stream."""
+    import tempfile
+
+    from repro.telemetry.trace import read_jsonl
+
+    fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="repro-trace-")
+    os.close(fd)
+    try:
+        sim = demo_run(seed=seed, packets=packets, trace_path=path)
+        return sim, read_jsonl(path)
+    finally:
+        os.unlink(path)
+
+
+def show_spans(seed: int, packets: int, as_json: bool) -> int:
+    """Span completeness + latency attribution over the quickstart run."""
+    from repro.analysis.attribution import (
+        attribute_acks, flow_table, render_table, verify_sums,
+    )
+    from repro.telemetry.spans import SpanBuilder
+
+    _sim, records = _demo_records(seed, packets)
+    builder = SpanBuilder(records)
+    report = builder.verify()
+    breakdowns = attribute_acks(records)
+    sum_violation = verify_sums(breakdowns)
+    status_counts: Dict[str, int] = {}
+    for span in builder.spans.values():
+        status = span.status
+        status_counts[status] = status_counts.get(status, 0) + 1
+    ok = report.ok and sum_violation is None
+    if as_json:
+        print(json.dumps({
+            "completeness": {
+                "spans": report.spans,
+                "origin_events": report.origin_events,
+                "terminal_events": report.terminal_events,
+                "unterminated": report.unterminated,
+                "orphaned": report.orphaned,
+                "ok": report.ok,
+            },
+            "statuses": status_counts,
+            "attribution": flow_table(breakdowns),
+            "attribution_sums_ok": sum_violation is None,
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"completeness: {report.summary()}")
+        print("statuses    : " + ", ".join(
+            f"{k}={v}" for k, v in sorted(status_counts.items())))
+        if sum_violation is not None:
+            print(f"ATTRIBUTION SUM VIOLATION: {sum_violation}")
+        print()
+        print(render_table(flow_table(breakdowns)))
+    return 0 if ok else 1
+
+
+def show_timeline(flow: Optional[str], seed: int, packets: int,
+                  out: Optional[str], validate: bool,
+                  list_flows: bool) -> int:
+    """Export the quickstart run as a Chrome trace-event (Perfetto) file."""
+    from repro.telemetry.perfetto import (
+        dump_chrome_trace, export_chrome_trace, validate_chrome_trace,
+    )
+    from repro.telemetry.spans import SpanBuilder
+
+    _sim, records = _demo_records(seed, packets)
+    if list_flows:
+        for tag in SpanBuilder(records).flows():
+            print(tag)
+        return 0
+    doc = export_chrome_trace(records, flow=flow)
+    if validate:
+        counts = validate_chrome_trace(doc)
+        print("validated: " + ", ".join(
+            f"{counts.get(ph, 0)} {label}" for ph, label in
+            (("X", "slices"), ("i", "instants"), ("M", "metadata"))),
+            file=sys.stderr)
+    serialized = dump_chrome_trace(doc)
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(serialized)
+        print(f"wrote {len(doc['traceEvents'])} trace events to {out} "
+              f"(open in ui.perfetto.dev)", file=sys.stderr)
+    else:
+        sys.stdout.write(serialized)
+    return 0
+
+
 def run_chaos(campaign: Optional[str], seed: int, as_json: bool,
               out: Optional[str], check_determinism: bool,
-              list_campaigns: bool) -> int:
+              list_campaigns: bool, trace: Optional[str] = None) -> int:
     """Run one chaos campaign; exit nonzero on FAIL or a verdict mismatch."""
     from repro.chaos import CAMPAIGNS, render_report, run_campaign, \
         verdict_json
@@ -176,8 +281,17 @@ def run_chaos(campaign: Optional[str], seed: int, as_json: bool,
         for name, c in CAMPAIGNS.items():
             print(f"{name.ljust(width)}  {c.description}")
         return 0
-    report = run_campaign(campaign, seed=seed)
+    report = run_campaign(campaign, seed=seed, trace_path=trace)
     serialized = verdict_json(report)
+    if trace:
+        print(f"wrote {report['trace']['records_emitted']} trace records "
+              f"to {trace}", file=sys.stderr)
+    dropped = report["trace"]["records_dropped"]
+    if dropped:
+        print(f"WARNING: trace ring truncated {dropped} records"
+              + ("" if trace else
+                 "; pass --trace PATH for the complete stream"),
+              file=sys.stderr)
     if check_determinism:
         repeat = verdict_json(run_campaign(campaign, seed=seed))
         if repeat != serialized:
@@ -220,6 +334,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="records to print (default 40)")
     trace_parser.add_argument("--out", metavar="PATH",
                               help="also write the retained records as JSONL")
+    spans_parser = sub.add_parser(
+        "spans", help="run the quickstart scenario and verify packet-span "
+                      "completeness + RTT attribution")
+    timeline_parser = sub.add_parser(
+        "timeline", help="export the quickstart scenario as a Chrome "
+                         "trace-event (Perfetto) timeline")
+    for p in (spans_parser, timeline_parser):
+        p.add_argument("--seed", type=int, default=7,
+                       help="simulator seed (default 7)")
+        p.add_argument("--packets", type=int, default=10,
+                       help="packets per phase (default 10)")
+    spans_parser.add_argument("--json", action="store_true",
+                              help="machine-readable output")
+    timeline_parser.add_argument("flow", nargs="?",
+                                 help="restrict to one flow's causal "
+                                      "closure (see --list-flows)")
+    timeline_parser.add_argument("--out", metavar="PATH",
+                                 help="write the JSON document here "
+                                      "(default: stdout)")
+    timeline_parser.add_argument("--validate", action="store_true",
+                                 help="schema-check the document before "
+                                      "writing it")
+    timeline_parser.add_argument("--list-flows", action="store_true",
+                                 dest="list_flows",
+                                 help="print the flow tags seen in the "
+                                      "trace and exit")
     chaos_parser = sub.add_parser(
         "chaos", help="run a fault-injection campaign with invariant "
                       "auditing and print its verdict report")
@@ -237,6 +377,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos_parser.add_argument("--check-determinism", action="store_true",
                               help="run twice and require byte-identical "
                                    "verdict reports")
+    chaos_parser.add_argument("--trace", metavar="PATH",
+                              help="stream the full trace record stream "
+                                   "to PATH as JSONL (first run only)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -249,9 +392,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "trace":
         return show_trace(args.seed, args.packets, args.tail, args.json,
                           args.out)
+    if args.command == "spans":
+        return show_spans(args.seed, args.packets, args.json)
+    if args.command == "timeline":
+        return show_timeline(args.flow, args.seed, args.packets, args.out,
+                             args.validate, args.list_flows)
     if args.command == "chaos":
         return run_chaos(args.campaign, args.seed, args.json, args.out,
-                         args.check_determinism, args.list_campaigns)
+                         args.check_determinism, args.list_campaigns,
+                         args.trace)
     return run_experiment(args.experiment)
 
 
