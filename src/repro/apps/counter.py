@@ -77,7 +77,7 @@ class AsyncCounterApp(InSwitchApp):
 
     def resource_usage(self) -> dict:
         return {
-            "sram_bits": self.counters.size * 64 + self.counters.size,
+            "sram_bits": self.counters.sram_bits(),
             "meter_alus": 3,
             "vliw_instructions": 4,
         }

@@ -99,9 +99,12 @@ class HeavyHitterApp(InSwitchApp):
         )
 
     def resource_usage(self) -> dict:
-        slots = len(self.vlans) * self.depth * self.width
         return {
-            "sram_bits": slots * 64 + slots,
+            "sram_bits": sum(
+                array.sram_bits()
+                for rows in self.sketches.values()
+                for array in rows
+            ),
             "meter_alus": self.depth * 3,
             "hash_bits": self.depth * 32,
             "vliw_instructions": self.depth * 3,

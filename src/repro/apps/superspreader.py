@@ -95,9 +95,9 @@ class SuperSpreaderApp(InSwitchApp):
         return self.spread.cp_live_values()[self.source_slot(src_ip)]
 
     def resource_usage(self) -> dict:
-        bits = sum(a.size * 2 for a in self.membership)
+        bits = sum(a.sram_bits() for a in self.membership)
         return {
-            "sram_bits": bits + self.spread.size * 64,
+            "sram_bits": bits + self.spread.sram_bits(),
             "meter_alus": self.hash_rows + 1,
             "hash_bits": 32 * (self.hash_rows + 1),
             "vliw_instructions": 2 * self.hash_rows + 3,

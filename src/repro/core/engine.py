@@ -704,7 +704,7 @@ class RedPlaneEngine(ControlBlock):
     def _mirror_pass(self, pkt: Packet, meta: Dict[str, object]) -> bool:
         """One egress pass of a circulating truncated request copy."""
         rtx = cast(RetransmitState, meta["rtx"])
-        ctx = PipelineContext(pkt=pkt, now=self.switch.sim.now)
+        ctx = PipelineContext(pkt=pkt, now=self.switch.sim.now, block_obj=self)
         if self._mirror_acked(ctx, rtx):
             return False
         now = self.switch.sim.now

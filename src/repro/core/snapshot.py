@@ -43,6 +43,16 @@ class LazySnapshotArray:
         self.last_updated = RegisterArray(f"{name}.last_updated", size, 1)
         self.snapshots_taken = 0
 
+    def sram_bits(self) -> int:
+        """Total SRAM of the structure: the paired data slots *and* the
+        two metadata registers. Apps must declare this figure (RP132
+        audits declarations against it), not just the data bits."""
+        return int(
+            self.data.sram_bits()
+            + self.active_flag.sram_bits()
+            + self.last_updated.sram_bits()
+        )
+
     # -- regular traffic -------------------------------------------------------
 
     def update(self, ctx: PipelineContext, index: int, delta: int) -> int:

@@ -46,6 +46,10 @@ class PipelineContext:
     pkt: Packet
     now: float
     verdict: Verdict = Verdict.FORWARD
+    #: The control block currently processing this packet (set by
+    #: :meth:`Pipeline.run`); lets access-constraint errors cite the
+    #: owning block/app the way ``repro.verify`` diagnostics do.
+    block_obj: Optional[object] = None
     #: Additional packets generated while processing (replication requests,
     #: mirrored copies already materialized, responses); each is routed
     #: independently after the pipeline completes.
@@ -57,10 +61,12 @@ class PipelineContext:
     def note_register_access(self, array: object) -> None:
         key = id(array)
         if key in self._accessed_arrays:
+            uid = self.pkt.meta.get("uid") if self.pkt is not None else None
+            site = access_site(self.block_obj, uid)
             raise RegisterAccessError(
-                f"register array {getattr(array, 'name', array)!r} accessed "
-                "twice for one packet; Tofino allows a single access per "
-                "array per packet"
+                access_violation_message(
+                    getattr(array, "name", repr(array)), site
+                )
             )
         self._accessed_arrays.add(key)
 
@@ -81,6 +87,38 @@ class PipelineContext:
 
 class RegisterAccessError(RuntimeError):
     """A P4 program violated the one-access-per-array-per-packet rule."""
+
+
+def describe_block(block: object) -> str:
+    """Logical name of a control block, e.g. ``redplane(nat44)``.
+
+    Blocks that wrap an application (the RedPlane engine) cite both so
+    the report reader can tell which app's pipeline misbehaved.
+    """
+    if block is None:
+        return "?"
+    name = getattr(block, "name", None) or type(block).__name__
+    app = getattr(block, "app", None)
+    app_name = getattr(app, "name", None)
+    return f"{name}({app_name})" if app_name else str(name)
+
+
+def access_site(block: object, pkt_uid: object = None) -> str:
+    """The shared site format cited by runtime errors and RP1xx
+    diagnostics alike: ``block=redplane(nat44) pkt=17``."""
+    site = f"block={describe_block(block)}"
+    if pkt_uid is not None:
+        site += f" pkt={pkt_uid}"
+    return site
+
+
+def access_violation_message(array_name: str, site: str) -> str:
+    """One wording for the §5.4 single-access violation, shared by the
+    runtime check above and the static RP101 rule in ``repro.verify``."""
+    return (
+        f"register array {array_name!r} accessed twice for one packet; "
+        f"Tofino allows a single access per array per packet [{site}]"
+    )
 
 
 class ControlBlock:
@@ -112,6 +150,8 @@ class Pipeline:
 
     def run(self, ctx: PipelineContext, switch: "SwitchASIC") -> None:
         for block in self.blocks:
+            ctx.block_obj = block
             keep_going = block.process(ctx, switch)
             if keep_going is False:
                 break
+        ctx.block_obj = None

@@ -38,7 +38,7 @@ class ScopedTimer:
         self.elapsed_s = 0.0
 
     def __enter__(self) -> "ScopedTimer":
-        self._start = time.perf_counter()
+        self._start = time.perf_counter()  # repro: noqa[RD201] -- this module IS the sanctioned wall-clock profiler (events/wall-second); results never feed figure metrics
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -47,7 +47,7 @@ class ScopedTimer:
     def stop(self) -> float:
         """Freeze the timer (idempotent); returns elapsed seconds."""
         if self._start is not None:
-            self.elapsed_s = time.perf_counter() - self._start
+            self.elapsed_s = time.perf_counter() - self._start  # repro: noqa[RD201] -- wall-clock profiler by design; see module docstring
             self._start = None
             if self.histogram is not None:
                 self.histogram.observe(self.elapsed_us)

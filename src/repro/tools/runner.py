@@ -360,6 +360,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                                  dest="list_flows",
                                  help="print the flow tags seen in the "
                                       "trace and exit")
+    verify_parser = sub.add_parser(
+        "verify", help="static analysis: pipeline constraints, determinism "
+                       "lint, telemetry schema (see docs/VERIFY.md)")
+    verify_parser.add_argument("paths", nargs="*",
+                               help="files/directories for the tree lints "
+                                    "(default: the repro source tree)")
+    verify_parser.add_argument("--all", action="store_true",
+                               dest="all_targets",
+                               help="verify every builtin app's deployed "
+                                    "pipeline plus the whole source tree")
+    verify_parser.add_argument("--app", metavar="NAME",
+                               help="verify one builtin app's pipeline")
+    verify_parser.add_argument("--json", action="store_true",
+                               help="print the JSON report")
+    verify_parser.add_argument("--out", metavar="PATH",
+                               help="also write the JSON report here")
+    verify_parser.add_argument("--strict", action="store_true",
+                               help="fail on warnings too, not just errors")
     chaos_parser = sub.add_parser(
         "chaos", help="run a fault-injection campaign with invariant "
                       "auditing and print its verdict report")
@@ -397,6 +415,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "timeline":
         return show_timeline(args.flow, args.seed, args.packets, args.out,
                              args.validate, args.list_flows)
+    if args.command == "verify":
+        from repro.verify.cli import run_verify
+
+        return run_verify(args.paths, args.all_targets, args.app,
+                          args.json, args.out, args.strict)
     if args.command == "chaos":
         return run_chaos(args.campaign, args.seed, args.json, args.out,
                          args.check_determinism, args.list_campaigns,

@@ -1,0 +1,52 @@
+"""``repro.verify`` — P4-compiler-style static analysis for the reproduction.
+
+Three coordinated passes over the code and the configured artifacts,
+sharing one diagnostic engine (rule ids, severities, source locations,
+JSON + human rendering, ``# repro: noqa[RULE]`` suppressions):
+
+* **pipeline** (:mod:`repro.verify.pipeline_pass`) — walks a configured
+  :class:`~repro.switch.asic.SwitchASIC` program symbolically and proves
+  or refutes the Tofino hardware constraints the runtime model only
+  discovers mid-simulation: at most one access per register array per
+  packet across all verdict paths (PAPER §5.4), stage/ALU budgets,
+  mirror-session wiring, and resource fit against
+  :data:`repro.switch.resources.CAPACITY` (Table 2).
+* **determinism** (:mod:`repro.verify.determinism_pass`) — an AST lint
+  over the source tree forbidding simulation-breaking constructs (wall
+  clock, unseeded randomness, set-iteration-order leaks, identity-based
+  ordering): the invariant every same-seed byte-identical guarantee in
+  CHANGES.md silently relies on.
+* **telemetry** (:mod:`repro.verify.telemetry_pass`) — validates metric
+  and trace emit sites against the declared schema in
+  :mod:`repro.telemetry.schema` (names, label sets, cardinality bounds,
+  span open/close pairing) so the spans-completeness guarantee is checked
+  statically, not only empirically.
+
+``python -m repro.tools verify --all`` runs everything; the CI ``verify``
+job gates on it.
+"""
+
+from repro.verify.diagnostics import (
+    Diagnostic,
+    Report,
+    Severity,
+    SuppressionIndex,
+)
+from repro.verify.rules import RULES, Rule, rule
+from repro.verify.pipeline_pass import verify_asic, verify_app
+from repro.verify.determinism_pass import verify_determinism
+from repro.verify.telemetry_pass import verify_telemetry
+
+__all__ = [
+    "Diagnostic",
+    "Report",
+    "Severity",
+    "SuppressionIndex",
+    "RULES",
+    "Rule",
+    "rule",
+    "verify_asic",
+    "verify_app",
+    "verify_determinism",
+    "verify_telemetry",
+]

@@ -1,0 +1,125 @@
+"""Shared AST plumbing for the verifier passes."""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class SourceFile:
+    """One parsed source file: path, text, AST."""
+
+    def __init__(self, path: str, text: str, tree: ast.Module) -> None:
+        self.path = path
+        self.text = text
+        self.tree = tree
+
+
+_CACHE: Dict[str, Optional[SourceFile]] = {}
+
+
+def load(path: str) -> Optional[SourceFile]:
+    """Parse ``path`` (cached); None when unreadable or syntactically bad."""
+    path = os.path.abspath(path)
+    if path in _CACHE:
+        return _CACHE[path]
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        tree = ast.parse(text, filename=path)
+        sf: Optional[SourceFile] = SourceFile(path, text, tree)
+    except (OSError, SyntaxError):
+        sf = None
+    _CACHE[path] = sf
+    return sf
+
+
+def relpath(path: str, root: Optional[str] = None) -> str:
+    """Repo-relative path for diagnostics (falls back to the input)."""
+    base = root or os.getcwd()
+    try:
+        rel = os.path.relpath(path, base)
+    except ValueError:  # pragma: no cover - windows drive mismatch
+        return path
+    return path if rel.startswith("..") else rel
+
+
+def attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` -> ['a', 'b', 'c']; None for anything fancier."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def iter_py_files(root: str) -> Iterator[str]:
+    """All ``.py`` files under ``root`` (or ``root`` itself), sorted."""
+    if os.path.isfile(root):
+        yield root
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+        )
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+class ImportTable:
+    """What top-level module names mean inside one file.
+
+    Tracks ``import x``/``import x as y``/``from x import y`` so a lint
+    can tell that ``perf_counter()`` is ``time.perf_counter`` or that
+    ``tt.PACKET_SEND`` refers to :mod:`repro.telemetry.trace`.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: local alias -> dotted module path ("tt" -> "repro.telemetry.trace")
+        self.modules: Dict[str, str] = {}
+        #: local name -> (module path, original name) for from-imports
+        self.names: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = (
+                        node.module, alias.name
+                    )
+
+    def resolves_to(self, node: ast.AST, module: str, name: str) -> bool:
+        """Does this expression denote ``module.name``?"""
+        chain = attr_chain(node)
+        if chain is None:
+            return False
+        if len(chain) >= 2:
+            mod = self.modules.get(chain[0])
+            # Match both "time" and dotted tails ("datetime.datetime.now").
+            if mod is not None:
+                dotted = ".".join([mod] + chain[1:-1])
+                if dotted.endswith(module) and chain[-1] == name:
+                    return True
+            from_mod = self.names.get(chain[0])
+            if from_mod is not None and len(chain) == 2:
+                full = f"{from_mod[0]}.{from_mod[1]}"
+                if full.endswith(module) and chain[-1] == name:
+                    return True
+        elif len(chain) == 1:
+            from_mod = self.names.get(chain[0])
+            if (
+                from_mod is not None
+                and from_mod[0].endswith(module)
+                and from_mod[1] == name
+            ):
+                return True
+        return False

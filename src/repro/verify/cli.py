@@ -1,0 +1,94 @@
+"""The ``repro.tools verify`` entry point.
+
+Runs the three passes with one shared suppression index and one report,
+so a single ``# repro: noqa[...]`` grammar covers all rule families and
+unused suppressions are judged once, after every pass has spoken.
+
+Tree lints (determinism, telemetry) take file/directory paths; the
+pipeline verifier needs *deployed programs*, so it runs over the builtin
+application registry (``--all`` / ``--app NAME``), deploying each app on
+a fresh simulated testbed exactly as the experiments do and analyzing
+the resulting switch.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Optional
+
+from repro.verify.determinism_pass import verify_determinism
+from repro.verify.diagnostics import Report, SuppressionIndex
+from repro.verify.pipeline_pass import verify_app
+from repro.verify.telemetry_pass import verify_telemetry
+
+
+def source_root() -> str:
+    """The ``src/`` directory this installation runs from."""
+    here = os.path.dirname(os.path.abspath(__file__))  # src/repro/verify
+    return os.path.normpath(os.path.join(here, "..", ".."))
+
+
+def repo_root() -> str:
+    """Diagnostics are reported relative to this directory."""
+    return os.path.normpath(os.path.join(source_root(), ".."))
+
+
+def run_verify(
+    paths: Optional[List[str]] = None,
+    all_targets: bool = False,
+    app: Optional[str] = None,
+    as_json: bool = False,
+    out: Optional[str] = None,
+    strict: bool = False,
+) -> int:
+    from repro.apps import BUILTIN_APPS
+
+    root = repo_root()
+    report = Report()
+    supp = SuppressionIndex()
+
+    if app is not None:
+        spec = BUILTIN_APPS.get(app)
+        if spec is None:
+            print(
+                f"unknown app {app!r}; builtin apps: "
+                f"{', '.join(sorted(BUILTIN_APPS))}",
+                file=sys.stderr,
+            )
+            return 2
+        apps = {app: spec}
+    elif all_targets or not paths:
+        apps = dict(BUILTIN_APPS)
+    else:
+        apps = {}
+
+    lint_paths = list(paths or [])
+    if all_targets or not paths:
+        lint_paths.append(os.path.join(source_root(), "repro"))
+
+    for name in sorted(apps):
+        spec = apps[name]
+        verify_app(
+            spec["factory"],
+            label=name,
+            structures=spec.get("structures"),
+            report=report,
+            suppressions=supp,
+            root=root,
+        )
+    if lint_paths:
+        verify_determinism(
+            lint_paths, report=report, suppressions=supp, root=root
+        )
+        verify_telemetry(
+            lint_paths, report=report, suppressions=supp, root=root
+        )
+    report.finalize_suppressions(supp)
+
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"wrote verify report to {out}", file=sys.stderr)
+    print(report.to_json() if as_json else report.render())
+    return report.exit_code(strict=strict)

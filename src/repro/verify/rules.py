@@ -1,0 +1,139 @@
+"""The rule registry: every diagnostic the analyzer can produce.
+
+Rule ids are stable API (tests, suppressions, and CI grep for them).
+Numbering mirrors the pass structure: ``RP1xx`` pipeline verifier,
+``RD2xx`` determinism linter, ``RT3xx`` telemetry-schema lint, ``QA0xx``
+the suppression mechanism itself. docs/VERIFY.md documents each rule,
+the hardware constraint or invariant it models, and how to suppress it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.verify.diagnostics import Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One verifiable constraint."""
+
+    id: str
+    title: str
+    severity: Severity
+    #: Which pass produces it: "pipeline" | "determinism" | "telemetry" | "meta".
+    owner: str
+    #: The paper section / hardware constraint / invariant it models.
+    models: str
+
+
+_RULES = [
+    # -- Pass 1: pipeline verifier -------------------------------------------
+    Rule("RP101", "register array accessed more than once on a packet path",
+         Severity.ERROR, "pipeline",
+         "PAPER §5.4: one access per register array per packet"),
+    Rule("RP102", "register array accessed inside a per-packet loop",
+         Severity.ERROR, "pipeline",
+         "P4 has no per-packet loops; a loop over a fixed array implies "
+         "multiple stateful-ALU accesses for one packet"),
+    Rule("RP103", "register access not statically resolvable",
+         Severity.WARNING, "pipeline",
+         "the verifier must be able to name the array to prove the "
+         "single-access constraint"),
+    Rule("RP105", "duplicate control block instance in the pipeline",
+         Severity.ERROR, "pipeline",
+         "block ordering must be acyclic; the same instance twice is a "
+         "cycle in the stage DAG"),
+    Rule("RP110", "pipeline exceeds the stage budget",
+         Severity.ERROR, "pipeline",
+         "Table 2: 12 match-action stages x 4 stateful ALUs per stage"),
+    Rule("RP120", "mirror session has no pass handler",
+         Severity.ERROR, "pipeline",
+         "§5.2: a circulating copy with no handler raises at the first "
+         "mirrored packet"),
+    Rule("RP121", "mirror session circulates untruncated copies",
+         Severity.WARNING, "pipeline",
+         "§5.2: copies should be truncated to the RedPlane header, not "
+         "hold full payloads in packet buffer (Fig 15)"),
+    Rule("RP122", "mirror session unreachable from any pipeline path",
+         Severity.WARNING, "pipeline",
+         "a configured session no code path can reach is dead resource"),
+    Rule("RP123", "mirror pass handler can never release its copies",
+         Severity.ERROR, "pipeline",
+         "a handler with no releasing path circulates copies forever and "
+         "exhausts the packet buffer"),
+    Rule("RP130", "declared resource usage exceeds chip capacity",
+         Severity.ERROR, "pipeline",
+         "Table 2 / resources.CAPACITY: the Tofino compiler rejects "
+         "over-budget programs at compile time"),
+    Rule("RP131", "resource declaration names an unknown resource",
+         Severity.ERROR, "pipeline",
+         "resource keys must be CAPACITY rows or Table 2 cannot account "
+         "them"),
+    Rule("RP132", "declared SRAM under-counts instantiated stateful objects",
+         Severity.ERROR, "pipeline",
+         "Table 2: the declared budget must cover every register array "
+         "the block actually instantiates"),
+    Rule("RP133", "switch resource ledger out of sync with block inventory",
+         Severity.WARNING, "pipeline",
+         "resources registered on the ASIC must equal the sum of what "
+         "its blocks and apps declare"),
+    # -- Pass 2: determinism linter ------------------------------------------
+    Rule("RD201", "wall-clock time source in simulation code",
+         Severity.ERROR, "determinism",
+         "trace/metric timestamps are simulated microseconds; wall clock "
+         "breaks same-seed byte-identical runs"),
+    Rule("RD202", "unseeded or process-global randomness",
+         Severity.ERROR, "determinism",
+         "all stochastic choices must come from a seeded random.Random "
+         "(the simulator owns one)"),
+    Rule("RD203", "set iteration order leaks into event ordering",
+         Severity.ERROR, "determinism",
+         "set iteration order depends on PYTHONHASHSEED; iterating a set "
+         "into any ordered effect is nondeterministic"),
+    Rule("RD204", "identity- or hash-based ordering",
+         Severity.ERROR, "determinism",
+         "id() and hash() vary across processes; using them as sort keys "
+         "reorders events run to run"),
+    # -- Pass 3: telemetry-schema lint ---------------------------------------
+    Rule("RT301", "unknown trace event type",
+         Severity.ERROR, "telemetry",
+         "every trace type must be declared in repro.telemetry.schema so "
+         "span reconstruction knows its role"),
+    Rule("RT302", "trace emit site violates the declared field schema",
+         Severity.ERROR, "telemetry",
+         "missing required fields (or undeclared ones) break span "
+         "reconstruction and attribution"),
+    Rule("RT303", "metric label key has no declared cardinality bound",
+         Severity.ERROR, "telemetry",
+         "per-uid/per-packet labels explode the registry; every label "
+         "key needs a declared bounded domain"),
+    Rule("RT304", "metric name not declared in the schema",
+         Severity.ERROR, "telemetry",
+         "undeclared metrics dodge the analysis layer and the docs"),
+    Rule("RT305", "metric emit site label set mismatches the schema",
+         Severity.ERROR, "telemetry",
+         "aggregation (MetricRegistry.total) silently misses instruments "
+         "with unexpected label sets"),
+    Rule("RT306", "metric emit site kind mismatches the schema",
+         Severity.ERROR, "telemetry",
+         "a name registered as two kinds raises at runtime"),
+    Rule("RT310", "span-opening trace type has no closing emit site",
+         Severity.ERROR, "telemetry",
+         "every packet.send/dup needs a deliver/drop site, every "
+         "rp.request an rp.ack site — else spans can never terminate"),
+    # -- meta: the suppression mechanism itself ------------------------------
+    Rule("QA001", "suppression without a justifying comment",
+         Severity.ERROR, "meta",
+         "a '# repro: noqa[RULE]' must say why (text after '--')"),
+    Rule("QA002", "suppression matched no diagnostic",
+         Severity.WARNING, "meta",
+         "stale suppressions hide future regressions"),
+]
+
+RULES: Dict[str, Rule] = {r.id: r for r in _RULES}
+
+
+def rule(rule_id: str) -> Rule:
+    return RULES[rule_id]

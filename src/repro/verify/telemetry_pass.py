@@ -1,0 +1,318 @@
+"""Pass 3: the telemetry-schema lint.
+
+Every ``tracer.emit(...)`` and every metric-instrument creation in the
+tree is checked against the declared contract in
+:mod:`repro.telemetry.schema`:
+
+* trace types must be declared (RT301) and emit the declared fields
+  (RT302) — a site spreading a prebuilt dict (``emit(T, **fields)``)
+  escapes the field check, since which keys it carries is a runtime
+  fact;
+* metric names must be declared (RT304) with the declared label-key set
+  (RT305) and instrument kind (RT306), and every label key needs a
+  bounded domain in :data:`~repro.telemetry.schema.LABEL_DOMAINS`
+  (RT303);
+* a file set that emits a span-opening type but none of its closing
+  types produces spans that can never terminate (RT310).
+
+Trace-type arguments are resolved through each file's import table: the
+constants in :mod:`repro.telemetry.trace` (``tt.PACKET_SEND``), string
+literals, and one level of local aliasing (``event_type = tt.A if cond
+else tt.B``) are all understood.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatchcase
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.telemetry import schema
+from repro.telemetry import trace as _trace_mod
+from repro.verify import astutil
+from repro.verify.diagnostics import Diagnostic, Report, SuppressionIndex
+from repro.verify.rules import RULES
+
+_INSTRUMENT_METHODS = {
+    "counter": "counter",
+    "gauge": "gauge",
+    "histogram": "histogram",
+}
+
+#: Placeholder for f-string interpolations in metric names: matched by a
+#: ``*`` in a declared pattern, never by a literal segment.
+_DYN = "\x00dyn\x00"
+
+#: Known trace-type constant values (for string-literal emit sites).
+_KNOWN_TYPES = set(schema.TRACE_EVENTS)
+
+
+def _is_trace_module(dotted: Optional[str]) -> bool:
+    return dotted is not None and (
+        dotted == "trace" or dotted.endswith("telemetry.trace")
+    )
+
+
+class _FileLint:
+    def __init__(self, sf: astutil.SourceFile, rel: str, report: Report,
+                 supp: SuppressionIndex) -> None:
+        self.sf = sf
+        self.rel = rel
+        self.report = report
+        self.supp = supp
+        self.imports = astutil.ImportTable(sf.tree)
+        #: Local name -> possible trace-type strings (one assignment level).
+        self.aliases: Dict[str, Set[str]] = {}
+        #: (type, lineno) per resolved trace emit in this file.
+        self.emits: List[Tuple[str, int]] = []
+
+    # -- shared ----------------------------------------------------------------
+
+    def _diag(self, rule_id: str, message: str, line: int) -> None:
+        r = RULES[rule_id]
+        self.report.add(
+            Diagnostic(r.id, r.severity, message, self.rel, line), self.supp
+        )
+
+    # -- trace-type resolution -------------------------------------------------
+
+    def _const_of(self, node: ast.AST) -> Optional[str]:
+        """The trace-type string an expression denotes, if resolvable."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        chain = astutil.attr_chain(node)
+        if chain is None:
+            return None
+        if len(chain) == 2 and _is_trace_module(
+            self.imports.modules.get(chain[0])
+        ):
+            value = getattr(_trace_mod, chain[1], None)
+            return value if isinstance(value, str) else None
+        if len(chain) == 1:
+            origin = self.imports.names.get(chain[0])
+            if origin is not None and _is_trace_module(origin[0]):
+                value = getattr(_trace_mod, origin[1], None)
+                return value if isinstance(value, str) else None
+        return None
+
+    def _types_of(self, node: ast.AST) -> Set[str]:
+        one = self._const_of(node)
+        if one is not None:
+            return {one}
+        if isinstance(node, ast.IfExp):
+            return self._types_of(node.body) | self._types_of(node.orelse)
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id, set())
+        return set()
+
+    def _collect_aliases(self) -> None:
+        for node in ast.walk(self.sf.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    types = self._types_of(node.value)
+                    if types:
+                        self.aliases[target.id] = types
+
+    # -- trace emits -----------------------------------------------------------
+
+    def _check_emit(self, node: ast.Call) -> None:
+        if not node.args:
+            return
+        types = self._types_of(node.args[0])
+        if not types:
+            return
+        has_spread = any(kw.arg is None for kw in node.keywords)
+        present = {kw.arg for kw in node.keywords if kw.arg is not None}
+        for type_ in sorted(types):
+            spec = schema.TRACE_EVENTS.get(type_)
+            if spec is None:
+                self._diag(
+                    "RT301",
+                    f"trace type {type_!r} is not declared in "
+                    "repro.telemetry.schema.TRACE_EVENTS; span "
+                    "reconstruction will not know its role",
+                    node.lineno,
+                )
+                continue
+            self.emits.append((type_, node.lineno))
+            if has_spread:
+                continue  # field set is a runtime fact at **-sites
+            missing = sorted(spec.required - present)
+            if missing:
+                self._diag(
+                    "RT302",
+                    f"emit of {type_!r} is missing required field(s) "
+                    f"{', '.join(missing)}",
+                    node.lineno,
+                )
+            undeclared = sorted(present - spec.allowed)
+            if undeclared:
+                self._diag(
+                    "RT302",
+                    f"emit of {type_!r} carries undeclared field(s) "
+                    f"{', '.join(undeclared)}; declare them in "
+                    "TRACE_EVENTS or drop them",
+                    node.lineno,
+                )
+
+    # -- metric sites ----------------------------------------------------------
+
+    def _name_pattern(self, node: ast.AST) -> Optional[str]:
+        """Metric name at an instrument-creation site; f-string holes
+        become a placeholder only declared wildcards can match."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.JoinedStr):
+            parts: List[str] = []
+            for value in node.values:
+                if isinstance(value, ast.Constant):
+                    parts.append(str(value.value))
+                else:
+                    parts.append(_DYN)
+            return "".join(parts)
+        return None
+
+    def _check_instrument(self, node: ast.Call, kind: str) -> None:
+        name = self._name_pattern(node.args[0] if node.args else None)
+        if name is None:
+            return
+        labels = {
+            kw.arg for kw in node.keywords
+            if kw.arg is not None and kw.arg != "max_samples"
+        }
+        unbounded = sorted(labels - set(schema.LABEL_DOMAINS))
+        if unbounded:
+            self._diag(
+                "RT303",
+                f"label key(s) {', '.join(unbounded)} on metric {name!r} "
+                "have no declared cardinality bound in LABEL_DOMAINS; "
+                "per-packet label values make the registry unbounded",
+                node.lineno,
+            )
+        for spec in schema.METRICS:
+            if fnmatchcase(name, spec.name):
+                if spec.kind != kind:
+                    self._diag(
+                        "RT306",
+                        f"metric {name!r} created as a {kind} but declared "
+                        f"as a {spec.kind} (registering a name as two kinds "
+                        "raises at runtime)",
+                        node.lineno,
+                    )
+                if labels != spec.labels:
+                    self._diag(
+                        "RT305",
+                        f"metric {name!r} created with labels "
+                        f"{{{', '.join(sorted(labels)) or ''}}} but the "
+                        f"schema declares "
+                        f"{{{', '.join(sorted(spec.labels)) or ''}}}; "
+                        "aggregations keyed on the declared set will miss "
+                        "this instrument",
+                        node.lineno,
+                    )
+                return
+        self._diag(
+            "RT304",
+            f"metric {name!r} is not declared in "
+            "repro.telemetry.schema.METRICS",
+            node.lineno,
+        )
+
+    def _check_legacy_count(self, node: ast.Call) -> None:
+        name = self._name_pattern(node.args[0] if node.args else None)
+        if name is None:
+            return
+        if any(fnmatchcase(name, p) for p in schema.LEGACY_COUNT_PATTERNS):
+            return
+        self._diag(
+            "RT304",
+            f"legacy counter name {name!r} matches no "
+            "LEGACY_COUNT_PATTERNS entry; use a declared labeled "
+            "instrument instead of sim.count()",
+            node.lineno,
+        )
+
+    # -- drive -----------------------------------------------------------------
+
+    def run(self) -> None:
+        self._collect_aliases()
+        for node in ast.walk(self.sf.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            attr = node.func.attr
+            if attr == "emit":
+                self._check_emit(node)
+            elif attr in _INSTRUMENT_METHODS:
+                base = astutil.attr_chain(node.func.value)
+                # Only registry receivers: ``...metrics.counter`` / ``m.*``
+                # / ``sim.metrics.*`` — not e.g. itertools.count.
+                if base is not None and base[-1] in (
+                    "metrics", "m", "registry"
+                ):
+                    self._check_instrument(node, _INSTRUMENT_METHODS[attr])
+            elif attr == "count":
+                base = astutil.attr_chain(node.func.value)
+                if base is not None and base[-1] == "sim" or (
+                    base is not None and len(base) == 1
+                    and base[0] == "self"
+                    and node.args
+                    and isinstance(node.args[0], (ast.Constant, ast.JoinedStr))
+                ):
+                    self._check_legacy_count(node)
+
+
+def verify_telemetry(
+    paths: Iterable[str],
+    report: Optional[Report] = None,
+    suppressions: Optional[SuppressionIndex] = None,
+    root: Optional[str] = None,
+) -> Report:
+    """Lint every emit site under ``paths`` against the telemetry schema.
+
+    The telemetry subsystem itself (``repro/telemetry/``) is excluded:
+    it defines the machinery, its method bodies are not emit *sites*.
+    """
+    report = report if report is not None else Report()
+    suppressions = (
+        suppressions if suppressions is not None else SuppressionIndex()
+    )
+    files: List[str] = []
+    for path in paths:
+        for f in astutil.iter_py_files(path):
+            norm = f.replace("\\", "/")
+            if "/telemetry/" in norm and "/verify/" not in norm:
+                continue
+            files.append(f)
+    lints: List[_FileLint] = []
+    for path in files:
+        sf = astutil.load(path)
+        if sf is None:
+            continue
+        rel = astutil.relpath(sf.path, root)
+        suppressions.scan(rel, source=sf.text)
+        lint = _FileLint(sf, rel, report, suppressions)
+        lint.run()
+        lints.append(lint)
+    # RT310: pairing across the whole file set.
+    emitted: Set[str] = set()
+    for lint in lints:
+        emitted.update(t for t, _ in lint.emits)
+    for opener, closers in sorted(schema.PAIRS.items()):
+        if opener in emitted and not (closers & emitted):
+            for lint in lints:
+                for type_, line in lint.emits:
+                    if type_ == opener:
+                        lint._diag(
+                            "RT310",
+                            f"span-opening type {opener!r} is emitted but "
+                            f"no closing type "
+                            f"({', '.join(sorted(closers))}) is emitted "
+                            "anywhere in the analyzed files: these spans "
+                            "can never terminate",
+                            line,
+                        )
+    report.analyzed["telemetry"] = f"{len(files)} file(s) linted"
+    return report

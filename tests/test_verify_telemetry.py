@@ -1,0 +1,170 @@
+"""Tests for the telemetry-schema lint (repro.verify pass 3, RT3xx rules)."""
+
+import os
+
+from repro.verify import SuppressionIndex
+from repro.verify.telemetry_pass import verify_telemetry
+
+
+def lint(tmp_path, *sources):
+    paths = []
+    for i, source in enumerate(sources):
+        path = tmp_path / f"fixture_{i}.py"
+        path.write_text(source)
+        paths.append(str(path))
+    supp = SuppressionIndex()
+    report = verify_telemetry(paths, suppressions=supp)
+    report.finalize_suppressions(supp)
+    return report
+
+
+def rules_and_lines(report):
+    return sorted((d.rule, d.line) for d in report.diagnostics)
+
+
+#: A minimal closer so PACKET_SEND fixtures don't also trip RT310.
+CLOSE_SEND = (
+    "tracer.emit('packet.deliver', link='l0', dir='fwd', node='h1', uid=1)\n"
+)
+
+
+# -- trace emits --------------------------------------------------------------
+
+
+def test_unknown_trace_type_is_rt301(tmp_path):
+    report = lint(tmp_path, (
+        "tracer.emit('packet.teleport', uid=1)\n"
+    ))
+    assert rules_and_lines(report) == [("RT301", 1)]
+
+
+def test_missing_required_field_is_rt302(tmp_path):
+    report = lint(tmp_path, (
+        "import repro.telemetry.trace as tt\n"
+        "tracer.emit(tt.PACKET_SEND, link='l0', dir='fwd', bytes=64)\n"
+        + CLOSE_SEND
+    ))
+    assert rules_and_lines(report) == [("RT302", 2)]
+    assert "uid" in report.diagnostics[0].message
+
+
+def test_undeclared_field_is_rt302(tmp_path):
+    report = lint(tmp_path, (
+        "from repro.telemetry.trace import SNAPSHOT\n"
+        "tracer.emit(SNAPSHOT, switch='sw', slot=0, epoch=1, color='red')\n"
+    ))
+    assert rules_and_lines(report) == [("RT302", 2)]
+    assert "color" in report.diagnostics[0].message
+
+
+def test_spread_emit_skips_field_check(tmp_path):
+    report = lint(tmp_path, (
+        "import repro.telemetry.trace as tt\n"
+        "fields = build()\n"
+        "tracer.emit(tt.SNAPSHOT, **fields)\n"
+    ))
+    assert report.diagnostics == []
+
+
+def test_declared_emit_is_clean(tmp_path):
+    report = lint(tmp_path, (
+        "import repro.telemetry.trace as tt\n"
+        "tracer.emit(tt.PACKET_SEND, link='l0', dir='fwd', bytes=64,\n"
+        "            uid=1, kind='data', flow='f')\n"
+        + CLOSE_SEND
+    ))
+    assert report.diagnostics == []
+
+
+# -- metric instruments -------------------------------------------------------
+
+
+def test_undeclared_metric_is_rt304(tmp_path):
+    report = lint(tmp_path, (
+        "c = sim.metrics.counter('switch.mystery_total', switch='sw')\n"
+    ))
+    assert rules_and_lines(report) == [("RT304", 1)]
+
+
+def test_label_mismatch_is_rt305(tmp_path):
+    report = lint(tmp_path, (
+        "c = metrics.counter('link.tx_bytes', link='l0')\n"
+    ))
+    assert rules_and_lines(report) == [("RT305", 1)]
+    assert "dir" in report.diagnostics[0].message
+
+
+def test_kind_mismatch_is_rt306(tmp_path):
+    report = lint(tmp_path, (
+        "g = metrics.gauge('link.tx_bytes', link='l0', dir='fwd')\n"
+    ))
+    assert rules_and_lines(report) == [("RT306", 1)]
+
+
+def test_unbounded_label_is_rt303(tmp_path):
+    report = lint(tmp_path, (
+        "c = metrics.counter('switch.pkts_processed', switch='sw', uid=7)\n"
+    ))
+    rules = [d.rule for d in report.diagnostics]
+    assert "RT303" in rules
+    assert "uid" in next(
+        d.message for d in report.diagnostics if d.rule == "RT303"
+    )
+
+
+def test_wildcard_metric_and_fstring_name_are_clean(tmp_path):
+    report = lint(tmp_path, (
+        "g = metrics.gauge(f'redplane.resource.{key}', switch='sw')\n"
+        "c = registry.counter('store.puts', node='n0')\n"
+    ))
+    assert report.diagnostics == []
+
+
+def test_legacy_count_outside_patterns_is_rt304(tmp_path):
+    report = lint(tmp_path, (
+        "sim.count('switch.drops.queue')\n"
+        "sim.count('switch.brand_new_counter')\n"
+    ))
+    assert rules_and_lines(report) == [("RT304", 2)]
+
+
+# -- RT310: span pairing across the file set ----------------------------------
+
+
+def test_unpaired_span_opener_is_rt310(tmp_path):
+    report = lint(tmp_path, (
+        "import repro.telemetry.trace as tt\n"
+        "tracer.emit(tt.PACKET_SEND, link='l0', dir='fwd', bytes=64,\n"
+        "            uid=1, kind='data')\n"
+    ))
+    assert rules_and_lines(report) == [("RT310", 2)]
+    assert "packet.send" in report.diagnostics[0].message
+
+
+def test_closer_in_another_file_pairs_the_span(tmp_path):
+    report = lint(
+        tmp_path,
+        (
+            "import repro.telemetry.trace as tt\n"
+            "tracer.emit(tt.RP_REQUEST, switch='sw', kind='write',\n"
+            "            flow='f', seq=0, uid=1)\n"
+        ),
+        (
+            "import repro.telemetry.trace as tt\n"
+            "tracer.emit(tt.RP_ACK, switch='sw', kind='write', flow='f',\n"
+            "            seq=0, uid=2, req_uid=1, rtt_us=10.0)\n"
+        ),
+    )
+    assert report.diagnostics == []
+
+
+# -- the tree itself ----------------------------------------------------------
+
+
+def test_repro_source_tree_matches_schema():
+    src = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+    supp = SuppressionIndex()
+    report = verify_telemetry([os.path.normpath(src)], suppressions=supp)
+    report.finalize_suppressions(supp)
+    offending = report.active()
+    assert offending == [], "\n".join(d.render() for d in offending)
