@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Scenario: a million-flow Zipf workload through RedPlane-NAT, with one
+mid-campaign switch failover — at fast-path speed.
+
+A CDN-edge-shaped workload: packets are drawn from a Zipf popularity
+distribution over a population of one million distinct connections. A
+few head flows carry much of the traffic (they live in the flow cache
+and the flow table the whole run); a long tail of one-packet flows
+churns through lease acquisition, control-plane NAT installs, and —
+because the flow table is a fixed-size SRAM resource — periodic
+control-plane reclamation of expired entries.
+
+Halfway through, the aggregation switch owning most leases fails. The
+fast path hears about it on the invalidation bus (the same publish the
+chaos engine uses), flushes its compiled state, and the survivors
+migrate their leases to the peer switch via the state store.
+
+This workload is the *adversarial* case for the flow cache: every cold
+flow's control-plane NAT install publishes on the invalidation bus and
+flushes compiled flow entries, so the hit rate hovers near 50% instead
+of the >90% that stable-flow benchmarks reach (see BENCH_fastpath.json
+for those). The point here is the other half of the contract: under
+maximal invalidation churn plus a failover, the fast path stays
+bit-identical to the reference pipeline and the campaign still
+completes in under two minutes of wall clock.
+
+Run:  python examples/million_flow_campaign.py [--packets N]
+      [--population N] [--no-fastpath]
+"""
+
+import argparse
+import random
+import time
+from bisect import bisect_right
+
+from repro import RedPlaneConfig, Simulator, deploy
+from repro.apps import NatApp, install_nat_routes
+from repro.fastpath import FastPath
+from repro.net.packet import Packet
+
+#: Zipf exponent: ~flat enough that the tail is enormous (the point of
+#: the campaign) but the head still dominates per-packet traffic.
+ZIPF_S = 1.05
+#: Leases long enough that head flows renew instead of re-acquiring,
+#: short enough that tail flows expire and their SRAM slots recycle.
+LEASE_US = 400_000.0
+#: Control-plane reclamation sweep period (simulated).
+RECLAIM_EVERY_US = 800_000.0
+SPACING_US = 32.0  # paced to the 88 us serial control-plane install cost
+
+
+def zipf_sampler(population: int, seed: int):
+    """O(log n) Zipf sampling via bisection over the cumulative mass."""
+    cum = []
+    total = 0.0
+    for rank in range(1, population + 1):
+        total += rank ** -ZIPF_S
+        cum.append(total)
+    rng = random.Random(seed)
+    return lambda: bisect_right(cum, rng.random() * total)
+
+
+def flow_ports(flow_id: int):
+    """Distinct (sport, dport) per flow id — one million 5-tuples."""
+    return 2000 + flow_id % 60000, 1000 + flow_id // 60000
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--packets", type=int, default=130_000,
+                        help="total packets to draw (default 130000)")
+    parser.add_argument("--population", type=int, default=1_000_000,
+                        help="distinct-flow population (default 1e6)")
+    parser.add_argument("--no-fastpath", action="store_true",
+                        help="reference path only (for A/B comparison)")
+    args = parser.parse_args()
+
+    wall_start = time.perf_counter()
+    sim = Simulator(seed=23)
+    dep = deploy(sim, NatApp, config=RedPlaneConfig(
+        lease_period_us=LEASE_US,
+        renew_interval_us=LEASE_US / 2,
+        max_flows=65_536,
+        record_history=False,  # 2x packets of history is not the point here
+    ))
+    install_nat_routes(dep.bed)
+    if not args.no_fastpath:
+        FastPath.install(sim)
+
+    sender = dep.bed.servers[0]
+    dst_ip = dep.bed.externals[0].ip
+    sample = zipf_sampler(args.population, seed=24)
+    draws = [sample() for _ in range(args.packets)]
+    print(f"population {args.population:,} flows, {args.packets:,} packets, "
+          f"{len(set(draws)):,} distinct flows drawn "
+          f"(Zipf s={ZIPF_S}, head flow carries "
+          f"{100.0 * draws.count(min(draws)) / len(draws):.1f}%)")
+
+    def send(flow_id: int) -> None:
+        sport, dport = flow_ports(flow_id)
+        sender.send(Packet.udp(sender.ip, dst_ip, sport, dport))
+
+    t = 0.0
+    for flow_id in draws:
+        sim.schedule_at(t, send, flow_id)
+        t += SPACING_US
+
+    # Traffic ends at t; give in-flight protocol exchanges three lease
+    # periods to settle. A failed switch keeps its peers retransmitting
+    # (that is the protocol working as designed), so the run is bounded
+    # by time, not by quiescence.
+    t_end = t + 3 * LEASE_US
+
+    def reclaim() -> None:
+        freed = sum(e.reclaim_idle_flows() for e in dep.engines.values())
+        if freed:
+            sim.count("example.reclaimed", freed)
+        if sim.now < t_end:
+            sim.schedule(RECLAIM_EVERY_US, reclaim)
+
+    sim.schedule(RECLAIM_EVERY_US, reclaim)
+
+    # One failover at the campaign's midpoint: kill the lease owner.
+    fail_at = t / 2
+
+    def fail_owner() -> None:
+        owner = max(dep.engines.values(),
+                    key=lambda e: e.stats["app_packets"])
+        print(f"t={sim.now / 1e6:.3f}s sim: failing {owner.switch.name} "
+              f"({owner.stats['app_packets']:,} packets owned)")
+        dep.bed.topology.fail_node(owner.switch, detect_delay_us=25_000.0)
+
+    sim.schedule_at(fail_at, fail_owner)
+    sim.run(until=t_end)
+    wall_s = time.perf_counter() - wall_start
+
+    apps = {id(e.app): e.app for e in dep.engines.values()}
+    translated = sum(a.translated_out for a in apps.values())
+    surviving = max(dep.engines.values(),
+                    key=lambda e: e.stats["app_packets"])
+    print(f"\ntranslated {translated:,}/{args.packets:,} packets "
+          f"({int(sim.counters.get('example.reclaimed', 0)):,} flow slots "
+          f"reclaimed, flow table peak <= 65,536)")
+    print(f"survivor {surviving.switch.name}: "
+          f"{surviving.stats['app_packets']:,} packets, "
+          f"{surviving.stats['lease_requests']:,} lease requests")
+    if not args.no_fastpath:
+        stats = sim.fastpath.stats()
+        flow = stats["flow_cache"]
+        total = flow["hits"] + flow["misses"]
+        print(f"flow cache: {flow['hits']:,} hits / {flow['misses']:,} "
+              f"misses ({100.0 * flow['hits'] / max(total, 1):.1f}%), "
+              f"invalidations: " + ", ".join(
+                  f"{k}={v}" for k, v in
+                  sorted(stats["invalidations"].items()) if v))
+    print(f"wall clock: {wall_s:.1f}s "
+          f"({'fast path' if not args.no_fastpath else 'reference path'})"
+          + ("  [target: < 120s]" if not args.no_fastpath else ""))
+
+
+if __name__ == "__main__":
+    main()

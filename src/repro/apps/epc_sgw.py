@@ -69,6 +69,9 @@ class EpcSgwApp(InSwitchApp):
 
     name = "epc-sgw"
     state_spec = StateSpec.of(("teid", 0), ("session_active", 0))
+    #: The GTP user id lives in the payload, so the partition decision
+    #: depends on packet bytes, not just headers (RP141).
+    partition_inputs = "packet"
 
     def __init__(self) -> None:
         self.data_forwarded = 0

@@ -52,6 +52,9 @@ class KvStoreApp(InSwitchApp):
 
     name = "kv-store"
     state_spec = StateSpec.of(("value", 0), ("exists", 0))
+    #: The object key lives in the payload, so the partition decision
+    #: depends on packet bytes, not just headers (RP141).
+    partition_inputs = "packet"
 
     def __init__(self, service_ip: int = KV_SERVICE_IP) -> None:
         self.service_ip = service_ip

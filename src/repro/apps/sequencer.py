@@ -55,6 +55,9 @@ class SequencerApp(InSwitchApp):
 
     name = "sequencer"
     state_spec = StateSpec.of(("next_seq", 0))
+    #: The group id lives in the payload, so the partition decision
+    #: depends on packet bytes, not just headers (RP141).
+    partition_inputs = "packet"
 
     def __init__(self, service_ip: int = SEQUENCER_IP) -> None:
         self.service_ip = service_ip

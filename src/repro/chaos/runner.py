@@ -42,13 +42,18 @@ _CLEAR_KINDS = frozenset(
 
 
 def run_campaign(
-    name: str, seed: int = 42, trace_path: Optional[str] = None
+    name: str, seed: int = 42, trace_path: Optional[str] = None,
+    fastpath: bool = False,
 ) -> Dict[str, object]:
     """Run one named campaign and return its verdict report.
 
     When ``trace_path`` is given, every trace record is streamed to that
     JSONL file as it is emitted — unlike the in-memory ring, the sink
     never truncates, so the file supports full span reconstruction.
+
+    ``fastpath=True`` installs the :mod:`repro.fastpath` acceleration
+    layer for the run. The verdict report must be byte-identical either
+    way (the bit-identity contract); tests/test_chaos.py asserts it.
     """
     try:
         campaign = CAMPAIGNS[name]
@@ -63,6 +68,10 @@ def run_campaign(
     if campaign.retransmit_timeout_us is not None:
         config_kwargs["retransmit_timeout_us"] = campaign.retransmit_timeout_us
     dep = deploy(sim, EchoCounterApp, config=RedPlaneConfig(**config_kwargs))
+    if fastpath:
+        from repro.fastpath import FastPath
+
+        FastPath.install(sim)
 
     monitor = InvariantMonitor(
         sim, dep.stores, engines=list(dep.engines.values()),

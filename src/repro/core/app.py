@@ -46,6 +46,15 @@ class InSwitchApp:
     #: adds slow-path latency to state initialization/migration (§5.1).
     requires_control_plane_install = False
 
+    #: What :meth:`partition_key` reads from the packet — the fast-path
+    #: flow cache keys compiled entries by exactly these inputs.
+    #: ``"flow"``: headers only (5-tuple + VLAN); ``"packet"``: headers
+    #: plus payload (apps that parse encapsulations or service requests
+    #: out of the payload must declare this — verify rule RP141);
+    #: ``None``: opt out of flow caching entirely (partition decisions
+    #: that depend on mutable app state).
+    partition_inputs: Optional[str] = "flow"
+
     def partition_key(self, pkt: Packet) -> Optional[FlowKey]:
         """The state-partition key for this packet.
 

@@ -11,9 +11,16 @@ action (fast-path forward vs. synchronous replication, §5.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
 U32_MASK = 0xFFFFFFFF
+
+
+@lru_cache(maxsize=None)
+def _index_map(spec: "StateSpec") -> Dict[str, int]:
+    """Shared name->slot map per spec (specs are frozen and few)."""
+    return {name: i for i, (name, _d) in enumerate(spec.fields)}
 
 
 @dataclass(frozen=True)
@@ -49,6 +56,8 @@ class StateSpec:
 class FlowStateView:
     """Read/write access to one flow's state values, with dirty tracking."""
 
+    __slots__ = ("spec", "_vals", "_index", "read_occurred", "write_occurred")
+
     def __init__(self, spec: StateSpec, vals: Sequence[int]) -> None:
         if len(vals) != spec.num_vals:
             raise ValueError(
@@ -56,9 +65,7 @@ class FlowStateView:
             )
         self.spec = spec
         self._vals = [v & U32_MASK for v in vals]
-        self._index: Dict[str, int] = {
-            name: i for i, (name, _d) in enumerate(spec.fields)
-        }
+        self._index = _index_map(spec)
         self.read_occurred = False
         self.write_occurred = False
 

@@ -1,0 +1,35 @@
+"""``repro.fastpath`` — the opt-in simulation acceleration subsystem.
+
+Layers (see docs/PERFORMANCE.md for the full design):
+
+* :mod:`repro.fastpath.flowcache` — per-switch flow fast-path cache with
+  explicit dependency sets;
+* :mod:`repro.fastpath.invalidation` — the scoped invalidation bus;
+* :mod:`repro.fastpath.lanes` — compiled link lanes with batched
+  same-edge delivery;
+* :mod:`repro.fastpath.wheel` — the calendar-bucket timer wheel behind
+  ``Simulator(scheduler="wheel")``;
+* :mod:`repro.fastpath.runtime` — installation and dispatch.
+
+The contract everywhere is *bit-identical or bust*: with a
+:class:`FastPath` installed, trace records, metric values, figure
+outputs, and chaos verdicts match the reference path byte for byte.
+Enable with::
+
+    from repro.fastpath import FastPath
+    fp = FastPath.install(sim)
+    ...
+    print(fp.stats())
+"""
+
+from repro.fastpath.invalidation import FLOW_SCOPES, SCOPES, InvalidationBus
+from repro.fastpath.runtime import FastPath
+from repro.fastpath.wheel import TimerWheel
+
+__all__ = [
+    "FLOW_SCOPES",
+    "FastPath",
+    "InvalidationBus",
+    "SCOPES",
+    "TimerWheel",
+]

@@ -1,0 +1,157 @@
+"""The per-switch flow fast-path cache.
+
+This is the simulation analogue of match-action flow caching in real
+switch software stacks: the first packet of a flow walks the full
+:class:`~repro.switch.asic.SwitchASIC` pipeline (the reference
+interpreter) and the dispatcher records what the walk *decided* — the
+packet's classification and, for application flows, the resolved
+partition key and flow-table index. Subsequent packets of the same flow
+replay that decision without re-deriving it.
+
+What is cached is deliberately narrow. A cache entry never captures
+register values, lease state, sequence numbers, or routing state —
+every replay reads those live and runs the application's state
+transition through the exact reference helpers
+(:meth:`RedPlaneEngine._leased_path` / ``_no_lease_path``). The entry
+caches only facts that are *pure functions of the packet's cache
+signature* (classification, partition key) or that are pinned by the
+entry's declared dependency scopes (the flow-table index, pinned by the
+``lease`` scope). That is what makes bit-identical replay provable: the
+``repro.verify`` RP140 rule statically checks that the ``replay_*``
+functions below touch nothing outside :data:`REPLAY_EFFECTS`, and RP141
+checks that every application declares whether its partition decision
+reads the payload (so the cache signature includes it).
+
+Dependency sets and invalidation
+--------------------------------
+
+Every entry kind declares the :class:`~repro.fastpath.invalidation`
+scopes it depends on in :data:`ENTRY_DEPS`. Entries are stamped with the
+bus's combined flow generation at record time and die the moment any
+flow-relevant scope publishes (one integer compare per packet). The
+per-switch cache as a whole is additionally keyed to the pipeline's
+composition version, so inserting a block flushes everything.
+"""
+
+from __future__ import annotations
+
+from repro.switch.pipeline import PipelineContext, Verdict
+
+#: Scopes each entry kind depends on — the "dependency set" column of the
+#: invalidation matrix in docs/PERFORMANCE.md. RP142 checks that every
+#: entry kind constructed below is declared here.
+ENTRY_DEPS = {
+    # Classification only: depends on the protocol port set (static) and
+    # the pipeline composition; flushed conservatively on table/chaos
+    # churn because transit accounting mirrors the engine's position in
+    # the pipeline.
+    "transit": frozenset({"table", "chaos"}),
+    # partition_key(pkt) is None: pure per signature, but flushed with
+    # the rest of the cache so a reconfigured app re-decides.
+    "bypass": frozenset({"table", "chaos"}),
+    # Application flow: partition key (pure per signature) + flow-table
+    # index (pinned until lease reclamation / migration / snapshot churn
+    # publishes). NOT ``register``: replay reads register values live,
+    # so control-plane state installs for one flow must not flush the
+    # entries of every other flow.
+    "app": frozenset({"table", "lease", "snapshot", "chaos"}),
+}
+
+#: Attributes/methods the ``replay_*`` functions may touch — the
+#: statically-enforced side-effect surface (verify rule RP140). Everything
+#: here is either a reference-path helper (so effects are the reference
+#: implementation's own) or read-only.
+REPLAY_EFFECTS = {
+    # reference-path helpers (side effects happen in reference code)
+    "_leased_path", "_no_lease_path", "_record", "_flow_index",
+    "_egress", "punt", "count", "read",
+    # counters/metrics handles
+    "inc", "_c", "_c_pkts_processed", "_c_bytes_protocol_in",
+    # read-only accessors
+    "get", "meta", "ip", "l4", "byte_size", "pkt", "verdict", "emitted",
+    "block_obj", "sim", "now", "name", "control_plane", "reg_lease_expiry",
+    "key", "idx",
+}
+
+
+class Entry:
+    """One compiled flow-cache entry (see module docstring)."""
+
+    __slots__ = ("kind", "key", "idx", "stamp")
+
+    def __init__(self, kind, key, stamp):
+        self.kind = kind
+        self.key = key
+        self.idx = None
+        self.stamp = stamp
+
+    @property
+    def deps(self):
+        """The entry's declared dependency scopes."""
+        return ENTRY_DEPS[self.kind]
+
+
+def replay_transit(switch, pkt, ip):
+    """Replay the reference pipeline for a protocol packet in transit.
+
+    Mirrors :meth:`SwitchASIC.process` for the path where the engine
+    classifies the packet as protocol traffic not addressed to this
+    switch: accounting, verdict FORWARD, egress byte counting, forward.
+    """
+    switch._c_pkts_processed.inc()
+    meta = pkt.meta
+    if meta.get("rp_kind") == "response":
+        switch._c_bytes_protocol_in.inc(
+            pkt.byte_size() - int(meta.get("rp_piggyback_len", 0))
+        )
+    if ip.dst == switch.ip:
+        # Addressed to the switch itself but no block consumed it.
+        switch.sim.count(f"{switch.name}.drops.to_self")
+    else:
+        switch._egress(pkt)
+
+
+def replay_bypass(switch, pkt, ip):
+    """Replay for traffic the application ignores (partition key None)."""
+    switch._c_pkts_processed.inc()
+    if ip.dst == switch.ip:
+        switch.sim.count(f"{switch.name}.drops.to_self")
+    else:
+        switch._egress(pkt)
+
+
+def replay_app(entry, eng, switch, pkt, ip):
+    """Replay for an application-owned flow.
+
+    Skips re-deriving classification and partition key, then hands the
+    packet to the *reference* per-packet paths — the application's state
+    transition, lease checks, and replication all execute live against
+    the real registers, so state evolution is the reference path's own.
+    """
+    switch._c_pkts_processed.inc()
+    ctx = PipelineContext(pkt=pkt, now=switch.sim.now)
+    ctx.block_obj = eng
+    key = entry.key
+    eng._c["app_packets"].inc()
+    if not pkt.meta.get("rp_reinjected"):
+        eng._record("input", key, pkt)
+    idx = entry.idx
+    if idx is None:
+        idx = entry.idx = eng._flow_index(key)
+    now = switch.sim.now
+    lease_expiry = eng.reg_lease_expiry.read(ctx, idx)
+    if lease_expiry <= now:
+        eng._no_lease_path(ctx, key, idx, now, lease_expiry)
+    else:
+        eng._leased_path(ctx, key, idx, now)
+    ctx.block_obj = None
+    verdict = ctx.verdict
+    if verdict is Verdict.FORWARD:
+        if ip.dst == switch.ip:
+            switch.sim.count(f"{switch.name}.drops.to_self")
+        else:
+            switch._egress(pkt)
+    elif verdict is Verdict.PUNT:
+        switch.control_plane.punt(pkt)
+    for out in ctx.emitted:
+        switch._egress(out)

@@ -1,0 +1,301 @@
+"""The fast-path runtime: installation, dispatch, caches, and stats.
+
+:class:`FastPath` is the single object the rest of the tree knows about.
+Installing it sets ``sim.fastpath``; the hot paths of
+:class:`~repro.net.links.Link`, :class:`~repro.net.routing.L3Switch`,
+and :class:`~repro.switch.asic.SwitchASIC` consult that attribute and
+hand the packet over when a compiled path exists. Uninstalling (or never
+installing) leaves every component on the reference path — that is the
+A/B lever the identity tests and ``repro.tools fastpath --diff`` pull.
+
+Three compiled structures live here:
+
+* **link lanes** (:mod:`repro.fastpath.lanes`) — per-direction transmit
+  paths with frozen counter handles and batched same-edge delivery;
+* **route caches** — per-switch ``(dst, proto, sport, dport) -> port``
+  maps validated by the routing table and belief version counters;
+* **flow caches** (:mod:`repro.fastpath.flowcache`) — per-ASIC compiled
+  classification/partition decisions, invalidated through the
+  :class:`~repro.fastpath.invalidation.InvalidationBus`.
+
+Everything is constructed lazily on first contact with a packet, so
+installation is O(1) and topology-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import (
+    RedPlaneEngine,
+    RedPlaneMode,
+    SWITCH_UDP_PORT,
+    _PROTOCOL_PORTS,
+)
+from repro.fastpath.flowcache import Entry, replay_app, replay_bypass, replay_transit
+from repro.fastpath.invalidation import InvalidationBus
+from repro.fastpath.lanes import Lane
+from repro.net.packet import TCPHeader, UDPHeader
+from repro.net.routing import ecmp_hash
+
+#: Entry-count bound per compiled structure; exceeding it clears the
+#: structure (counted as a ``capacity`` flush in stats). Keeps memory
+#: proportional to the active working set in million-flow campaigns.
+CACHE_CAP = 262_144
+
+
+class _AsicCache:
+    """Per-SwitchASIC compiled state: eligibility + flow entries."""
+
+    __slots__ = ("engine", "pipeline_version", "payload_sensitive", "entries",
+                 "hits", "misses")
+
+    def __init__(self, engine, pipeline_version, payload_sensitive):
+        self.engine = engine
+        self.pipeline_version = pipeline_version
+        self.payload_sensitive = payload_sensitive
+        self.entries = {}
+        self.hits = 0
+        self.misses = 0
+
+
+class FastPath:
+    """Compiled fast paths over one :class:`~repro.net.simulator.Simulator`."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.bus = InvalidationBus()
+        self._lanes = {}  # id(src_port) -> Lane
+        self._routes = {}  # id(switch) -> [cache dict, table ver, belief ver]
+        self._asics = {}  # id(switch) -> _AsicCache or None (ineligible)
+        self._flow_strs = {}  # 5-tuple -> str(FlowKey) memo
+        self.route_hits = 0
+        self.route_misses = 0
+        self.route_flushes = 0
+        self.capacity_flushes = 0
+        self.batched_deliveries = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def install(cls, sim) -> "FastPath":
+        """Create and activate a fast path on ``sim`` (idempotent)."""
+        fp = sim.fastpath
+        if fp is None:
+            fp = sim.fastpath = cls(sim)
+        return fp
+
+    def uninstall(self) -> None:
+        """Deactivate: every subsequent packet takes the reference path."""
+        if self.sim.fastpath is self:
+            self.sim.fastpath = None
+
+    # -- link lanes ---------------------------------------------------------
+
+    def make_lane(self, link, src_port):
+        """Compile (and register) the lane for one link direction."""
+        lane = self._lanes[id(src_port)] = Lane(self, link, src_port)
+        return lane
+
+    def link_transmit(self, link, pkt, src_port) -> bool:
+        lane = self._lanes.get(id(src_port))
+        if lane is None:
+            lane = self.make_lane(link, src_port)
+        return lane.transmit(pkt)
+
+    def flow_str_of(self, pkt) -> str:
+        """Memoized ``str(pkt.flow_key())`` keyed by the raw 5-tuple."""
+        ip = pkt.ip
+        l4 = pkt.l4
+        if type(l4) is UDPHeader or type(l4) is TCPHeader:
+            key = (ip.src, ip.dst, ip.proto, l4.sport, l4.dport)
+        else:
+            key = (ip.src, ip.dst, ip.proto, 0, 0)
+        strs = self._flow_strs
+        s = strs.get(key)
+        if s is None:
+            if len(strs) >= CACHE_CAP:
+                strs.clear()
+                self.capacity_flushes += 1
+            s = strs[key] = str(pkt.flow_key())
+        return s
+
+    # -- route caches -------------------------------------------------------
+
+    def select_port(self, switch, pkt):
+        """Versioned ECMP result cache for one L3 switch.
+
+        Only successful selections are cached; drop outcomes re-walk the
+        reference path so their counters fire per packet.
+        """
+        rc = self._routes.get(id(switch))
+        table_ver = switch.table.version
+        belief_ver = switch.belief_version
+        if rc is None or rc[1] != table_ver or rc[2] != belief_ver:
+            if rc is not None:
+                self.route_flushes += 1
+                self.bus.counts["routing"] += 1
+            rc = self._routes[id(switch)] = [{}, table_ver, belief_ver]
+        ip = pkt.ip
+        l4 = pkt.l4
+        if type(l4) is UDPHeader or type(l4) is TCPHeader:
+            key = (ip.dst, ip.proto, l4.sport, l4.dport)
+        else:
+            key = (ip.dst, ip.proto, 0, 0)
+        cache = rc[0]
+        port = cache.get(key)
+        if port is not None:
+            self.route_hits += 1
+            return port
+        self.route_misses += 1
+        port = switch._select_port_uncached(pkt)
+        if port is not None:
+            if len(cache) >= CACHE_CAP:
+                cache.clear()
+                self.capacity_flushes += 1
+            cache[key] = port
+        return port
+
+    # -- flow caches --------------------------------------------------------
+
+    def _compile_asic(self, switch) -> Optional[_AsicCache]:
+        """Decide whether an ASIC's pipeline is fast-path eligible.
+
+        Eligible means: exactly one control block, and it is a
+        :class:`RedPlaneEngine` whose application declares its partition
+        inputs (``partition_inputs`` of ``"flow"`` or ``"packet"``).
+        Anything else — custom blocks, multi-block pipelines, apps that
+        opted out — keeps the reference path forever.
+        """
+        blocks = switch.pipeline.blocks
+        if len(blocks) != 1 or not isinstance(blocks[0], RedPlaneEngine):
+            return None
+        engine = blocks[0]
+        inputs = getattr(engine.app, "partition_inputs", None)
+        if inputs not in ("flow", "packet"):
+            return None
+        return _AsicCache(engine, switch.pipeline.version, inputs == "packet")
+
+    def asic_process(self, switch, pkt) -> bool:
+        """Try to replay a compiled decision for one ASIC packet.
+
+        Returns ``True`` when the packet was fully handled (side effects
+        bit-identical to the reference pipeline); ``False`` defers to the
+        reference path, which also records the entry for next time.
+        """
+        sid = id(switch)
+        ac = self._asics.get(sid, 0)
+        if ac == 0:
+            ac = self._asics[sid] = self._compile_asic(switch)
+        if ac is None:
+            return False
+        if ac.pipeline_version != switch.pipeline.version:
+            ac = self._asics[sid] = self._compile_asic(switch)
+            self.bus.counts["table"] += 1
+            if ac is None:
+                return False
+        ip = pkt.ip
+        if ip is None:
+            return False
+        meta = pkt.meta
+        l4 = pkt.l4
+        is_udp = type(l4) is UDPHeader
+        if is_udp and (l4.dport in _PROTOCOL_PORTS or l4.sport in _PROTOCOL_PORTS):
+            if ip.dst == switch.ip and l4.dport == SWITCH_UDP_PORT:
+                return False  # response to this engine: reference path
+            kind = "transit"
+            sig = (ip.src, ip.dst, ip.proto, l4.sport, l4.dport, pkt.vlan)
+        else:
+            if meta.get("rp_kind") is not None:
+                return False  # protocol-tagged but oddly addressed: be safe
+            if ac.engine.config.mode is not RedPlaneMode.LINEARIZABLE:
+                return False  # bounded mode: snapshot paths stay reference
+            kind = "app"
+            if is_udp or type(l4) is TCPHeader:
+                sig = (ip.src, ip.dst, ip.proto, l4.sport, l4.dport, pkt.vlan)
+            else:
+                sig = (ip.src, ip.dst, ip.proto, 0, 0, pkt.vlan)
+            if ac.payload_sensitive:
+                sig = sig + (pkt.payload,)
+        entry = ac.entries.get(sig)
+        if entry is None or entry.stamp != self.bus.flow_gen:
+            # First packet (or invalidated): the reference pipeline runs
+            # and we record the compiled decision for the next packet.
+            ac.misses += 1
+            if len(ac.entries) >= CACHE_CAP:
+                ac.entries.clear()
+                self.capacity_flushes += 1
+            if kind == "app":
+                key = ac.engine.app.partition_key(pkt)
+                if key is None:
+                    kind = "bypass"
+                entry = Entry(kind, key, self.bus.flow_gen)
+            else:
+                entry = Entry("transit", None, self.bus.flow_gen)
+            ac.entries[sig] = entry
+            return False
+        ac.hits += 1
+        if entry.kind == "transit":
+            replay_transit(switch, pkt, ip)
+        elif entry.kind == "bypass":
+            replay_bypass(switch, pkt, ip)
+        else:
+            replay_app(entry, ac.engine, switch, pkt, ip)
+        return True
+
+    # -- stats --------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Aggregated cache statistics (also published as metrics)."""
+        per_switch = {}
+        hits = misses = entries = 0
+        for ac in self._asics.values():
+            if ac is None:
+                continue
+            name = ac.engine.switch.name
+            per_switch[name] = {
+                "hits": ac.hits,
+                "misses": ac.misses,
+                "entries": len(ac.entries),
+            }
+            hits += ac.hits
+            misses += ac.misses
+            entries += len(ac.entries)
+        return {
+            "flow_cache": {
+                "hits": hits,
+                "misses": misses,
+                "entries": entries,
+                "per_switch": per_switch,
+            },
+            "route_cache": {
+                "hits": self.route_hits,
+                "misses": self.route_misses,
+                "flushes": self.route_flushes,
+            },
+            "lanes": {
+                "count": len(self._lanes),
+                "batched_deliveries": self.batched_deliveries,
+            },
+            "invalidations": dict(self.bus.counts),
+            "capacity_flushes": self.capacity_flushes,
+        }
+
+    def publish_metrics(self) -> None:
+        """Export stats through the run's metric registry.
+
+        Called explicitly by harnesses *after* verdict reports are built:
+        chaos verdicts must not depend on whether a fast path was
+        installed, so these metrics never feed them.
+        """
+        m = self.sim.metrics
+        for ac in self._asics.values():
+            if ac is None:
+                continue
+            name = ac.engine.switch.name
+            m.counter("fastpath.cache_hits", switch=name).inc(ac.hits)
+            m.counter("fastpath.cache_misses", switch=name).inc(ac.misses)
+            m.gauge("fastpath.cache_entries", switch=name).set(len(ac.entries))
+        for scope, count in self.bus.counts.items():
+            if count:
+                m.counter("fastpath.invalidations", scope=scope).inc(count)

@@ -220,6 +220,16 @@ class Link:
 
     def transmit(self, pkt: Packet, src_port: Port) -> None:
         """Send a packet from ``src_port`` toward the other end."""
+        fp = self.sim.fastpath
+        if fp is not None:
+            # Inlined lane lookup (one dict probe on the hot path); a
+            # compiled lane accepting the packet is bit-identical to the
+            # reference path below.
+            lane = fp._lanes.get(id(src_port))
+            if lane is None:
+                lane = fp.make_lane(self, src_port)
+            if lane.transmit(pkt):
+                return
         # Span correlation: a packet gets its uid on first wire contact and
         # keeps it hop to hop (meta travels with the object, not the wire).
         meta = pkt.meta

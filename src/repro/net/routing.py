@@ -62,12 +62,17 @@ class RoutingTable:
 
     def __init__(self) -> None:
         self._routes: List[Route] = []
+        #: Bumped on every mutation; the fast path's per-switch route
+        #: caches are valid only while this (and the owning switch's
+        #: belief version) is unchanged.
+        self.version = 0
 
     def add(self, prefix: int, mask_len: int, ports: List[Port]) -> Route:
         if not ports:
             raise ValueError("a route needs at least one next-hop port")
         route = Route(prefix, mask_len, list(ports))
         self._routes.append(route)
+        self.version += 1
         # Keep sorted longest-prefix-first so lookup is a linear scan.
         self._routes.sort(key=lambda r: -r.mask_len)
         return route
@@ -100,6 +105,8 @@ class L3Switch(Node):
         self.table = RoutingTable()
         self.ecmp_seed = ecmp_seed if ecmp_seed is not None else self.DEFAULT_ECMP_SEED
         self.port_up_belief: Dict[int, bool] = {}
+        #: Bumped on every belief change; see :attr:`RoutingTable.version`.
+        self.belief_version = 0
         self.forwarded = 0
         self.dropped_no_route = 0
         self.dropped_ttl = 0
@@ -112,6 +119,7 @@ class L3Switch(Node):
 
     def set_port_belief(self, port: Port, up: bool) -> None:
         self.port_up_belief[id(port)] = up
+        self.belief_version += 1
 
     # -- forwarding -----------------------------------------------------------
 
@@ -136,6 +144,13 @@ class L3Switch(Node):
 
     def select_port(self, pkt: Packet) -> Optional[Port]:
         """Pick the output port for a packet without sending it."""
+        fp = self.sim.fastpath
+        if fp is not None:
+            return fp.select_port(self, pkt)
+        return self._select_port_uncached(pkt)
+
+    def _select_port_uncached(self, pkt: Packet) -> Optional[Port]:
+        """The reference LPM + ECMP walk (also the cache-fill path)."""
         route = self.table.lookup(pkt.ip.dst)
         if route is None:
             self.dropped_no_route += 1

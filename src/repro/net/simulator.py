@@ -14,6 +14,15 @@ and :class:`~repro.telemetry.trace.Tracer` (:attr:`Simulator.tracer`),
 which every component publishes through. The historical free-form
 ``Simulator.counters`` dict survives as a read view over the registry;
 direct writes to it are deprecated.
+
+Two schedulers are available behind the same ``schedule`` API: the
+default binary heap (entries are ``(time, seq, Event)`` tuples, so
+ordering is decided entirely by C tuple comparison and never calls back
+into Python), and an opt-in calendar-bucket timer wheel
+(``Simulator(scheduler="wheel")``, :mod:`repro.fastpath.wheel`) that the
+fast-path subsystem uses for million-flow campaigns. Both produce the
+exact same ``(time, seq)`` execution order; ``tests/test_fastpath.py``
+cross-checks them event for event.
 """
 
 from __future__ import annotations
@@ -21,26 +30,32 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+import warnings
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.telemetry import MetricRegistry, Tracer
 from repro.telemetry.compat import LegacyCounters
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, seq)`` which makes the heap deterministic:
-    two events at the same instant fire in the order they were scheduled.
+    Events execute in ``(time, seq)`` order, which makes the run
+    deterministic: two events at the same instant fire in the order they
+    were scheduled. The ordering itself lives in the scheduler's queue
+    entries (plain tuples); ``Event`` is the cancellation handle.
+    ``__slots__`` because hot scenarios allocate one per hop.
     """
 
-    time: float
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None],
+                 args: tuple = ()) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Prevent the event from firing; cancelled events are skipped."""
@@ -56,14 +71,35 @@ class Simulator:
         Seed for the simulator-owned :class:`random.Random`. All stochastic
         behaviour (link loss, reordering, workload generation) must draw
         from :attr:`rng` so that a run is reproducible from its seed.
+    scheduler:
+        ``"heap"`` (default) or ``"wheel"``. The wheel is the fast-path
+        scheduler; it executes the identical ``(time, seq)`` order.
     """
 
-    def __init__(self, seed: int = 0, trace_ring: int = 65536) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        trace_ring: int = 65536,
+        scheduler: str = "heap",
+    ) -> None:
         self.now: float = 0.0
         self.rng = random.Random(seed)
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
+        #: Sequence number of the most recently scheduled event (-1 when
+        #: none yet). Lane batching uses this to prove no event was
+        #: scheduled between two candidate same-edge deliveries.
+        self.last_seq = -1
         self._events_executed = 0
+        if scheduler == "heap":
+            self._wheel = None
+        elif scheduler == "wheel":
+            from repro.fastpath.wheel import TimerWheel
+
+            self._wheel = TimerWheel()
+        else:
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        self.scheduler = scheduler
         # Correlation ids for packet-lifecycle spans: allocation order is
         # event-execution order, so ids are deterministic per seed and
         # never touch the RNG or the event heap.
@@ -75,6 +111,10 @@ class Simulator:
         #: Legacy per-run counters, now a live view over :attr:`metrics`.
         #: Reads work as before; direct writes raise ``DeprecationWarning``.
         self.counters = LegacyCounters(self.metrics)
+        #: The installed :class:`repro.fastpath.runtime.FastPath`, if any.
+        #: Components consult this on their hot paths; ``None`` means every
+        #: packet takes the reference (slow) path.
+        self.fastpath = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -91,55 +131,111 @@ class Simulator:
                 f"cannot schedule at t={when} before current time t={self.now}"
             )
         event = Event(when, next(self._seq), fn, args)
-        heapq.heappush(self._heap, event)
+        self.last_seq = event.seq
+        if self._wheel is None:
+            heapq.heappush(self._heap, (when, event.seq, event))
+        else:
+            self._wheel.push(when, event.seq, event)
         return event
 
     # -- execution ------------------------------------------------------------
 
+    def _drain(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        exhaust: Optional[str] = "warn",
+    ) -> int:
+        """The single drain loop behind :meth:`step`, :meth:`run`, and
+        :meth:`run_until_idle`.
+
+        Executes due events in ``(time, seq)`` order until the queue is
+        empty, the next event lies beyond ``until``, or ``max_events``
+        have fired. ``exhaust`` controls what hitting ``max_events`` with
+        real work still pending does: ``"warn"`` emits the
+        ``sim.max_events_exhausted`` counter plus a ``RuntimeWarning``,
+        ``"raise"`` emits the counter and raises, ``None`` is silent
+        (used by :meth:`step`). Returns the number of events executed.
+        """
+        executed = 0
+        wheel = self._wheel
+        if wheel is None:
+            heap = self._heap
+            pop = heapq.heappop
+            while heap:
+                head = heap[0]
+                event = head[2]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                if max_events is not None and executed >= max_events:
+                    self._events_executed += executed
+                    self._note_exhausted(max_events, exhaust)
+                    return executed
+                when = head[0]
+                if until is not None and when > until:
+                    break
+                pop(heap)
+                self.now = when
+                event.fn(*event.args)
+                executed += 1
+        else:
+            pop_due = wheel.pop_due
+            while True:
+                if max_events is not None and executed >= max_events:
+                    # Same exhaustion semantics as the heap branch: only
+                    # report when a live event is actually still pending.
+                    if wheel.head() is not None:
+                        self._events_executed += executed
+                        self._note_exhausted(max_events, exhaust)
+                        return executed
+                    break
+                entry = pop_due(until)
+                if entry is None:
+                    break
+                self.now = entry[0]
+                event = entry[2]
+                event.fn(*event.args)
+                executed += 1
+        self._events_executed += executed
+        return executed
+
+    def _note_exhausted(self, max_events: int, exhaust: Optional[str]) -> None:
+        if exhaust is None:
+            return
+        self.metrics.counter("sim.max_events_exhausted").inc()
+        if exhaust == "raise":
+            raise RuntimeError(
+                f"simulation did not quiesce within {max_events} events"
+            )
+        warnings.warn(
+            f"simulation stopped after max_events={max_events} with events "
+            f"still pending (t={self.now})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     def step(self) -> bool:
         """Execute the next pending event. Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            event.fn(*event.args)
-            self._events_executed += 1
-            return True
-        return False
+        return self._drain(max_events=1, exhaust=None) == 1
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run until the heap drains, ``until`` is reached, or ``max_events``.
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
 
         When ``until`` is given, the clock is advanced to exactly ``until``
         even if the last event fires earlier, so that measurements taken
-        "at the end of the run" line up across runs.
+        "at the end of the run" line up across runs. Exhausting
+        ``max_events`` with work still pending is telemetry-visible: the
+        ``sim.max_events_exhausted`` counter increments and a
+        ``RuntimeWarning`` is issued (it used to return silently).
         """
-        executed = 0
-        while self._heap:
-            if max_events is not None and executed >= max_events:
-                return
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until is not None and head.time > until:
-                break
-            if not self.step():
-                break
-            executed += 1
+        self._drain(until=until, max_events=max_events, exhaust="warn")
         if until is not None and self.now < until:
             self.now = until
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Run until no events remain; guard against runaway event storms."""
-        executed = 0
-        while self.step():
-            executed += 1
-            if executed > max_events:
-                raise RuntimeError(
-                    f"simulation did not quiesce within {max_events} events"
-                )
+        self._drain(max_events=max_events, exhaust="raise")
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -167,7 +263,9 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events still queued (including cancelled tombstones)."""
-        return len(self._heap)
+        if self._wheel is None:
+            return len(self._heap)
+        return len(self._wheel)
 
     @property
     def events_executed(self) -> int:

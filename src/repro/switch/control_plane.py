@@ -50,6 +50,12 @@ class SwitchControlPlane:
         if self.asic.failed:
             return
         self.ops_executed += 1
+        fp = self.sim.fastpath
+        if fp is not None:
+            # The callable is opaque and may install/remove table entries;
+            # conservatively flush compiled flow-cache state at the moment
+            # the operation's effects apply.
+            fp.bus.publish("table")
         fn(*args)
 
     # -- public API ----------------------------------------------------------------

@@ -35,12 +35,13 @@ class Verdict(enum.Enum):
     PUNT = "punt"
 
 
-@dataclass
+@dataclass(slots=True)
 class PipelineContext:
     """Per-packet execution context threading through the pipeline.
 
     Tracks the hardware access constraint: a register array may be touched
-    at most once while processing one packet.
+    at most once while processing one packet. ``slots=True`` because one
+    is allocated per packet per switch traversal.
     """
 
     pkt: Packet
@@ -144,9 +145,14 @@ class Pipeline:
 
     def __init__(self, blocks: Optional[List[ControlBlock]] = None) -> None:
         self.blocks: List[ControlBlock] = list(blocks or [])
+        #: Composition version: bumped on every structural change so the
+        #: fast path can cheaply detect that compiled per-switch state
+        #: (which encodes this block sequence) is stale.
+        self.version = len(self.blocks)
 
     def append(self, block: ControlBlock) -> None:
         self.blocks.append(block)
+        self.version += 1
 
     def run(self, ctx: PipelineContext, switch: "SwitchASIC") -> None:
         for block in self.blocks:

@@ -53,19 +53,42 @@ class RegisterArray:
         ``ctx``'s packet; the returned ``result`` is what the stateful ALU
         hands back to the pipeline.
         """
-        ctx.note_register_access(self)
-        self._check_index(index)
+        # Inlined access-constraint check (hot path: several calls per
+        # packet); the method call only happens on the violation path,
+        # where it raises with the full diagnostic.
+        accessed = ctx._accessed_arrays
+        key = id(self)
+        if key in accessed:
+            ctx.note_register_access(self)
+        accessed.add(key)
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}[{index}] out of range (size {self.size})")
         new, result = fn(self._values[index])
         self._values[index] = new & self._mask
         return result
 
     def read(self, ctx: PipelineContext, index: int) -> int:
         """Data-plane read (counts as the packet's single access)."""
-        return self.access(ctx, index, lambda old: (old, old))
+        accessed = ctx._accessed_arrays
+        key = id(self)
+        if key in accessed:
+            ctx.note_register_access(self)
+        accessed.add(key)
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}[{index}] out of range (size {self.size})")
+        return self._values[index]
 
     def write(self, ctx: PipelineContext, index: int, value: int) -> int:
         """Data-plane write (counts as the packet's single access)."""
-        return self.access(ctx, index, lambda old: (value, value))
+        accessed = ctx._accessed_arrays
+        key = id(self)
+        if key in accessed:
+            ctx.note_register_access(self)
+        accessed.add(key)
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}[{index}] out of range (size {self.size})")
+        self._values[index] = value & self._mask
+        return value
 
     # -- control-plane access (unconstrained but slow in real hardware) --------
 

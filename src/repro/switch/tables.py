@@ -58,6 +58,10 @@ class MatchTable:
         self._range: List[Tuple[int, int, int, ActionEntry]] = []
         self.hits = 0
         self.misses = 0
+        #: Bumped on every install/remove/clear so compiled fast-path
+        #: state keyed to table contents can detect staleness without a
+        #: simulator reference.
+        self.version = 0
 
     # -- installation (control-plane side) --------------------------------------
 
@@ -67,15 +71,18 @@ class MatchTable:
         if len(self._exact) >= self.max_entries and key not in self._exact:
             raise RuntimeError(f"table {self.name} full ({self.max_entries})")
         self._exact[key] = entry
+        self.version += 1
 
     def remove(self, key: Hashable) -> None:
         self._require(MatchKind.EXACT)
         self._exact.pop(key, None)
+        self.version += 1
 
     def install_lpm(self, prefix: int, mask_len: int, entry: ActionEntry) -> None:
         self._require(MatchKind.LPM)
         self._lpm.append((prefix, mask_len, entry))
         self._lpm.sort(key=lambda item: -item[1])
+        self.version += 1
 
     def install_ternary(
         self, value: int, mask: int, entry: ActionEntry, priority: int = 0
@@ -83,6 +90,7 @@ class MatchTable:
         self._require(MatchKind.TERNARY)
         self._ternary.append((value, mask, priority, entry))
         self._ternary.sort(key=lambda item: -item[2])
+        self.version += 1
 
     def install_range(
         self, lo: int, hi: int, entry: ActionEntry, priority: int = 0
@@ -92,12 +100,14 @@ class MatchTable:
             raise ValueError(f"empty range [{lo}, {hi}]")
         self._range.append((lo, hi, priority, entry))
         self._range.sort(key=lambda item: -item[2])
+        self.version += 1
 
     def clear(self) -> None:
         self._exact.clear()
         self._lpm.clear()
         self._ternary.clear()
         self._range.clear()
+        self.version += 1
 
     # -- lookup (data-plane side) -------------------------------------------------
 

@@ -101,6 +101,7 @@ LABEL_DOMAINS: Dict[str, str] = {
     "node": "state-store nodes (fixed per testbed)",
     "host": "end hosts (fixed per testbed)",
     "shard": "store shards (fixed per deployment)",
+    "scope": "fast-path invalidation scopes (fixed set, repro.fastpath)",
 }
 
 
@@ -135,6 +136,11 @@ METRICS: Tuple[MetricSpec, ...] = (
     _m("switch.bytes_chain_transit", "counter", "switch"),
     _m("switch.pkts_processed", "counter", "switch"),
     _m("probe.rtt_us", "histogram", "host"),
+    _m("sim.max_events_exhausted", "counter"),
+    _m("fastpath.cache_hits", "counter", "switch"),
+    _m("fastpath.cache_misses", "counter", "switch"),
+    _m("fastpath.cache_entries", "gauge", "switch"),
+    _m("fastpath.invalidations", "counter", "scope"),
     _m("redplane.ack_rtt_us", "histogram", "switch"),
     _m("redplane.flow_table_entries", "gauge", "switch"),
     _m("redplane.resource.*", "gauge", "switch"),

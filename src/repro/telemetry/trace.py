@@ -61,9 +61,12 @@ FAULT_INJECT = "fault.inject"
 FAULT_CLEAR = "fault.clear"
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceRecord:
-    """One trace event: a type, a simulated timestamp, and typed fields."""
+    """One trace event: a type, a simulated timestamp, and typed fields.
+
+    ``slots=True`` because hot paths allocate one per wire event.
+    """
 
     ts: float
     type: str

@@ -5,6 +5,7 @@ Usage::
     python -m repro.tools list              # inventory of experiments
     python -m repro.tools run fig8          # one experiment
     python -m repro.tools run all           # everything (slow)
+    python -m repro.tools bench fig8        # rerun fig8, diff vs committed
     python -m repro.tools metrics           # telemetry snapshot of a demo run
     python -m repro.tools trace --tail 20   # trace tail of a demo run
     python -m repro.tools spans             # span completeness + attribution
@@ -12,6 +13,8 @@ Usage::
     python -m repro.tools timeline <flow>   # one flow's causal timeline
     python -m repro.tools chaos --list      # chaos campaign inventory
     python -m repro.tools chaos gray_link   # one chaos campaign + verdict
+    python -m repro.tools fastpath          # fast-path cache statistics
+    python -m repro.tools fastpath --diff   # on/off A/B identity + speedup
 
 Each experiment is a pytest benchmark under ``benchmarks/``; the runner
 invokes pytest with the right selection so the printed rows land on
@@ -97,6 +100,172 @@ def run_experiment(name: str, extra_args: Optional[List[str]] = None) -> int:
            "--benchmark-only", "-q", "-s"]
     cmd.extend(extra_args or [])
     return subprocess.call(cmd)
+
+
+def _parse_sections(text: str) -> Dict[str, List[str]]:
+    """Split ``bench_results.txt``-style output into titled sections.
+
+    A section is a ``print_header`` banner (a bar line, the title, a bar
+    line) followed by everything up to the next banner. Returns
+    title -> content lines (trailing blanks stripped).
+    """
+    lines = text.splitlines()
+    sections: Dict[str, List[str]] = {}
+    title: Optional[str] = None
+    content: List[str] = []
+
+    def flush() -> None:
+        if title is not None:
+            while content and not content[-1].strip():
+                content.pop()
+            sections[title] = list(content)
+
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if (line and set(line) == {"="} and i + 2 < len(lines)
+                and set(lines[i + 2]) == {"="}):
+            flush()
+            title = lines[i + 1]
+            content = []
+            i += 3
+            continue
+        if title is not None:
+            content.append(line)
+        i += 1
+    flush()
+    return sections
+
+
+def run_bench_diff(name: str) -> int:
+    """Rerun one experiment and diff its tables against the committed ones.
+
+    The committed reference is ``bench_results.txt`` at the repository
+    root — the machine-readable companion of EXPERIMENTS.md (every number
+    EXPERIMENTS.md quotes comes from these tables). The experiment is
+    rerun into a scratch file and each section it produces must match the
+    committed section byte for byte; any drift prints a diff and exits
+    nonzero. This is the guard that a change to the simulator did not
+    silently move a published number.
+    """
+    import difflib
+    import tempfile
+
+    bench_dir = benchmarks_dir()
+    committed_path = os.path.normpath(
+        os.path.join(bench_dir, "..", "bench_results.txt"))
+    try:
+        with open(committed_path) as fh:
+            committed = _parse_sections(fh.read())
+    except OSError:
+        print(f"no committed reference at {committed_path}", file=sys.stderr)
+        return 2
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+        )
+    fd, scratch = tempfile.mkstemp(suffix=".txt", prefix="repro-bench-")
+    os.close(fd)
+    try:
+        env = dict(os.environ, REPRO_BENCH_RESULTS=scratch)
+        cmd = [sys.executable, "-m", "pytest",
+               os.path.join(bench_dir, EXPERIMENTS[name][0]),
+               "--benchmark-only", "-q"]
+        code = subprocess.call(cmd, env=env,
+                               stdout=subprocess.DEVNULL)
+        if code != 0:
+            print(f"benchmark {name!r} itself failed (exit {code})",
+                  file=sys.stderr)
+            return code
+        with open(scratch) as fh:
+            fresh = _parse_sections(fh.read())
+    finally:
+        os.unlink(scratch)
+    if not fresh:
+        print(f"benchmark {name!r} emitted no tables", file=sys.stderr)
+        return 2
+    drift = False
+    for title, lines in fresh.items():
+        if title not in committed:
+            print(f"DRIFT: section {title!r} is not in the committed "
+                  f"reference", file=sys.stderr)
+            drift = True
+            continue
+        if lines != committed[title]:
+            drift = True
+            print(f"DRIFT in {title!r}:")
+            sys.stdout.writelines(difflib.unified_diff(
+                committed[title], lines, fromfile="committed",
+                tofile="regenerated", lineterm=""))
+            print()
+        else:
+            print(f"ok: {title}")
+    if drift:
+        print("\nbench diff: DRIFT — regenerated tables differ from the "
+              "committed bench_results.txt/EXPERIMENTS.md values")
+        return 1
+    print("\nbench diff: clean — regenerated tables match the committed "
+          "values")
+    return 0
+
+
+def run_fastpath(flows: int, packets: int, seed: int, scheduler: str,
+                 diff: bool, as_json: bool) -> int:
+    """Fast-path statistics, or an on/off A/B identity + speedup check."""
+    from repro.fastpath.bench import run_ab, run_scenario
+
+    if diff:
+        result = run_ab(flows=flows, packets_per_flow=packets, seed=seed,
+                        scheduler=scheduler)
+        if as_json:
+            slim = dict(result)
+            for key in ("off", "on"):
+                slim[key] = {k: v for k, v in result[key].items()
+                             if k not in ("metrics", "trace_digest")}
+            print(json.dumps(slim, indent=2, sort_keys=True))
+        else:
+            off, on = result["off"], result["on"]
+            print(f"reference : {off['packets_per_s']:>10.1f} pkt/s "
+                  f"({off['packets']} packets, {off['events']} events)")
+            print(f"fast path : {on['packets_per_s']:>10.1f} pkt/s "
+                  f"({on['packets']} packets, {on['events']} events)")
+            print(f"speedup   : {result['speedup_vs_committed']:.2f}x vs "
+                  f"committed baseline ({result['baseline_pps']:.1f} "
+                  f"pkt/s), {result['speedup_same_scenario']:.2f}x "
+                  f"same-scenario")
+            for axis, same in result["identity"].items():
+                print(f"identity  : {axis:<16s} "
+                      f"{'identical' if same else 'DIVERGED'}")
+        if not result["identical"]:
+            print("fast path DIVERGED from the reference path",
+                  file=sys.stderr)
+            return 1
+        return 0
+    result = run_scenario(flows=flows, packets_per_flow=packets, seed=seed,
+                          fastpath=True, scheduler=scheduler)
+    stats = result["fastpath_stats"]
+    if as_json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    flow = stats["flow_cache"]
+    route = stats["route_cache"]
+    total = flow["hits"] + flow["misses"]
+    print(f"throughput : {result['packets_per_s']:.1f} pkt/s "
+          f"({result['packets']} packets, {result['events']} events)")
+    print(f"flow cache : {flow['hits']} hits / {flow['misses']} misses "
+          f"({100.0 * flow['hits'] / total if total else 0.0:.1f}% hit), "
+          f"{flow['entries']} entries")
+    for switch, per in sorted(flow["per_switch"].items()):
+        print(f"  {switch:<9s}: {per['hits']} hits / {per['misses']} "
+              f"misses, {per['entries']} entries")
+    print(f"route cache: {route['hits']} hits / {route['misses']} misses "
+          f"/ {route['flushes']} flushes")
+    print(f"lanes      : {stats['lanes']['count']} compiled, "
+          f"{stats['lanes']['batched_deliveries']} batched deliveries")
+    print("invalidations: " + ", ".join(
+        f"{scope}={count}" for scope, count in
+        sorted(stats["invalidations"].items())) )
+    return 0
 
 
 def demo_run(seed: int = 7, packets: int = 10, fail_owner: bool = True,
@@ -319,6 +488,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("experiment", help="fig8..fig15, table1, table2, "
                                                "appc, ablation-*, or all")
+    bench_parser = sub.add_parser(
+        "bench", help="rerun one experiment and diff its tables against "
+                      "the committed bench_results.txt/EXPERIMENTS.md "
+                      "values; nonzero exit on drift")
+    bench_parser.add_argument("experiment",
+                              help="fig8..fig15, table1, table2, appc, "
+                                   "or ablation-*")
+    fastpath_parser = sub.add_parser(
+        "fastpath", help="run the NAT steady-state scenario with the "
+                         "fast path and print cache statistics")
+    fastpath_parser.add_argument("--diff", action="store_true",
+                                 help="also run the reference path and "
+                                      "check bit-identity + speedup; "
+                                      "nonzero exit on divergence")
+    fastpath_parser.add_argument("--flows", type=int, default=50,
+                                 help="concurrent NAT flows (default 50)")
+    fastpath_parser.add_argument("--packets", type=int, default=400,
+                                 help="packets per flow (default 400)")
+    fastpath_parser.add_argument("--seed", type=int, default=5,
+                                 help="simulator seed (default 5)")
+    fastpath_parser.add_argument("--scheduler", default="heap",
+                                 choices=("heap", "wheel"),
+                                 help="event scheduler (default heap)")
+    fastpath_parser.add_argument("--json", action="store_true",
+                                 help="machine-readable output")
     metrics_parser = sub.add_parser(
         "metrics", help="run the quickstart scenario and dump its metrics")
     trace_parser = sub.add_parser(
@@ -424,6 +618,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_chaos(args.campaign, args.seed, args.json, args.out,
                          args.check_determinism, args.list_campaigns,
                          args.trace)
+    if args.command == "bench":
+        return run_bench_diff(args.experiment)
+    if args.command == "fastpath":
+        return run_fastpath(args.flows, args.packets, args.seed,
+                            args.scheduler, args.diff, args.json)
     return run_experiment(args.experiment)
 
 

@@ -19,6 +19,7 @@ from typing import List, Optional
 
 from repro.verify.determinism_pass import verify_determinism
 from repro.verify.diagnostics import Report, SuppressionIndex
+from repro.verify.fastpath_pass import verify_fastpath
 from repro.verify.pipeline_pass import verify_app
 from repro.verify.telemetry_pass import verify_telemetry
 
@@ -82,6 +83,9 @@ def run_verify(
             lint_paths, report=report, suppressions=supp, root=root
         )
         verify_telemetry(
+            lint_paths, report=report, suppressions=supp, root=root
+        )
+        verify_fastpath(
             lint_paths, report=report, suppressions=supp, root=root
         )
     report.finalize_suppressions(supp)

@@ -22,7 +22,8 @@ class Rule:
     id: str
     title: str
     severity: Severity
-    #: Which pass produces it: "pipeline" | "determinism" | "telemetry" | "meta".
+    #: Which pass produces it:
+    #: "pipeline" | "determinism" | "telemetry" | "fastpath" | "meta".
     owner: str
     #: The paper section / hardware constraint / invariant it models.
     models: str
@@ -79,6 +80,21 @@ _RULES = [
          Severity.WARNING, "pipeline",
          "resources registered on the ASIC must equal the sum of what "
          "its blocks and apps declare"),
+    # -- Pass 4: fast-path replay lint ---------------------------------------
+    Rule("RP140", "fast-path replay effect outside the declared surface",
+         Severity.ERROR, "fastpath",
+         "a replay_* function may only call/assign through the "
+         "REPLAY_EFFECTS allowlist; anything else is a side effect the "
+         "entry's dependency set does not cover, breaking bit-identity"),
+    Rule("RP141", "payload-reading partition_key without a declaration",
+         Severity.ERROR, "fastpath",
+         "an app whose partition_key reads the payload must declare "
+         "partition_inputs = 'packet' so the flow-cache signature "
+         "includes the payload"),
+    Rule("RP142", "cache entry kind has no declared dependency set",
+         Severity.ERROR, "fastpath",
+         "every Entry kind must appear in ENTRY_DEPS or the invalidation "
+         "bus can never flush it"),
     # -- Pass 2: determinism linter ------------------------------------------
     Rule("RD201", "wall-clock time source in simulation code",
          Severity.ERROR, "determinism",

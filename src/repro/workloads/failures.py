@@ -61,6 +61,9 @@ class FailureSchedule:
 
         def fire() -> None:
             tracer.emit(event_type, kind=kind, target=target, detail=detail)
+            fp = self.deployment.sim.fastpath
+            if fp is not None:
+                fp.bus.publish("chaos")
             fn()
 
         self.deployment.sim.schedule_at(time_us, fire)

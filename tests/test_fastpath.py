@@ -1,0 +1,334 @@
+"""Tests for the fast-path subsystem: timer wheel, invalidation bus,
+flow cache, lane batching, and the bit-identity contract."""
+
+import random
+
+import pytest
+
+from repro import Simulator, deploy
+from repro.apps.counter import SyncCounterApp
+from repro.apps.nat import NatApp, install_nat_routes
+from repro.fastpath import FLOW_SCOPES, SCOPES, FastPath, InvalidationBus, \
+    TimerWheel
+from repro.fastpath.bench import identity_report, run_scenario
+from repro.fastpath.flowcache import ENTRY_DEPS, Entry
+from repro.net.links import Link, SinkNode
+from repro.net.packet import Packet
+from repro.net.simulator import Event
+
+
+# -- timer wheel --------------------------------------------------------------
+
+
+def _drain_wheel(wheel):
+    order = []
+    while True:
+        entry = wheel.pop_due(None)
+        if entry is None:
+            break
+        order.append((entry[0], entry[1]))
+    return order
+
+
+def test_wheel_matches_heap_order_on_mixed_workload():
+    """The correctness contract: exactly the heap's (time, seq) order."""
+    rng = random.Random(11)
+    entries = []
+    for seq in range(2000):
+        # Calendar-shaped mix: dense near-future, sparse far tail, plus
+        # sub-microsecond offsets that land several entries in one bucket.
+        time = rng.choice([
+            rng.uniform(0.0, 10.0),
+            float(rng.randrange(0, 8)),           # exact bucket edges
+            rng.uniform(0.0, 10.0) + 1e-4,
+            rng.uniform(1000.0, 500000.0),
+        ])
+        entries.append((time, seq, Event(time, seq, lambda: None)))
+    wheel = TimerWheel()
+    for time, seq, event in entries:
+        wheel.push(time, seq, event)
+    expected = sorted((t, s) for t, s, _e in entries)
+    assert _drain_wheel(wheel) == expected
+
+
+def test_wheel_insert_into_draining_bucket():
+    """A sub-microsecond relative delay lands in the bucket currently
+    being drained and must still fire in (time, seq) position."""
+    wheel = TimerWheel()
+    wheel.push(1.0, 0, Event(1.0, 0, lambda: None))
+    wheel.push(1.5, 1, Event(1.5, 1, lambda: None))
+    first = wheel.pop_due(None)
+    assert first[0] == 1.0
+    # Now 1.2 goes into the bucket being drained, ahead of 1.5.
+    wheel.push(1.2, 2, Event(1.2, 2, lambda: None))
+    assert [e[0] for e in (wheel.pop_due(None), wheel.pop_due(None))] == \
+        [1.2, 1.5]
+    assert wheel.pop_due(None) is None
+
+
+def test_wheel_pop_due_respects_until():
+    wheel = TimerWheel()
+    for seq, time in enumerate([0.5, 2.5, 7.0]):
+        wheel.push(time, seq, Event(time, seq, lambda: None))
+    assert wheel.pop_due(1.0)[0] == 0.5
+    assert wheel.pop_due(1.0) is None      # 2.5 is beyond until
+    assert wheel.pop_due(None)[0] == 2.5   # still there, not lost
+    assert len(wheel) == 1
+
+
+def test_wheel_skips_cancelled_tombstones():
+    wheel = TimerWheel()
+    events = [Event(float(i), i, lambda: None) for i in range(6)]
+    for i, event in enumerate(events):
+        wheel.push(float(i), i, event)
+    for i in (0, 2, 3):
+        events[i].cancel()
+    assert [e[1] for e in iter(lambda: wheel.pop_due(None), None)] == \
+        [1, 4, 5]
+
+
+def test_wheel_scheduler_runs_simulation_identically():
+    """Simulator(scheduler='wheel') is event-order identical to the heap
+    on a full RedPlane run (no fast path involved)."""
+    results = [run_scenario(flows=6, packets_per_flow=30, fastpath=False,
+                            scheduler=s) for s in ("heap", "wheel")]
+    report = identity_report(results[0], results[1])
+    assert all(report.values()), report
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError):
+        Simulator(scheduler="calendar")
+
+
+# -- invalidation bus ---------------------------------------------------------
+
+
+def test_bus_scopes_and_flow_generation():
+    bus = InvalidationBus()
+    gen = bus.flow_gen
+    for scope in SCOPES:
+        bus.publish(scope)
+        assert bus.counts[scope] == 1
+    # Only the flow-relevant scopes bumped the generation.
+    assert bus.flow_gen == gen + len(FLOW_SCOPES)
+    with pytest.raises(ValueError):
+        bus.publish("weather")
+
+
+def test_register_and_routing_are_not_flow_scopes():
+    """Replay reads registers live and route caches use local version
+    counters; neither scope may flush flow entries (a per-new-flow state
+    install would otherwise wipe the whole cache)."""
+    assert "register" not in FLOW_SCOPES
+    assert "routing" not in FLOW_SCOPES
+    assert FLOW_SCOPES <= set(SCOPES)
+
+
+def test_entry_deps_are_declared_flow_scopes():
+    for kind, deps in ENTRY_DEPS.items():
+        assert deps <= FLOW_SCOPES, kind
+    assert Entry("app", None, 0).deps == ENTRY_DEPS["app"]
+
+
+# -- flow cache ---------------------------------------------------------------
+
+
+def _nat_sim(fastpath=True, flows=4, packets=25):
+    sim = Simulator(seed=9)
+    dep = deploy(sim, NatApp)
+    install_nat_routes(dep.bed)
+    fp = FastPath.install(sim) if fastpath else None
+    sender = dep.bed.servers[0]
+    dst = dep.bed.externals[0].ip
+    t = 0.0
+    for _p in range(packets):
+        for f in range(flows):
+            sim.schedule_at(t, lambda sport: sender.send(
+                Packet.udp(sender.ip, dst, sport, 7777)), 6000 + f)
+            t += 2.0
+    sim.run_until_idle()
+    return sim, dep, fp
+
+
+def test_flow_cache_hits_after_first_packet():
+    _sim, _dep, fp = _nat_sim()
+    stats = fp.stats()["flow_cache"]
+    assert stats["hits"] > 0
+    assert stats["hits"] > stats["misses"]
+    assert stats["entries"] > 0
+
+
+def test_chaos_publish_invalidates_flow_entries():
+    sim, dep, fp = _nat_sim()
+    hits_before = fp.stats()["flow_cache"]["hits"]
+    fp.bus.publish("chaos")
+    # Same flow again: the stale stamp forces one miss, then hits resume.
+    sender = dep.bed.servers[0]
+    dst = dep.bed.externals[0].ip
+    for _ in range(3):
+        sender.send(Packet.udp(sender.ip, dst, 6000, 7777))
+        sim.run_until_idle()
+    stats = fp.stats()["flow_cache"]
+    assert stats["hits"] > hits_before  # hits resumed after re-record
+    assert fp.bus.counts["chaos"] == 1
+
+
+def test_register_publish_does_not_invalidate_flow_entries():
+    _sim, _dep, fp = _nat_sim()
+    gen = fp.bus.flow_gen
+    fp.bus.publish("register")
+    assert fp.bus.flow_gen == gen
+
+
+def test_fastpath_install_is_idempotent_and_uninstalls():
+    sim = Simulator(seed=1)
+    fp = FastPath.install(sim)
+    assert FastPath.install(sim) is fp
+    fp.uninstall()
+    assert sim.fastpath is None
+
+
+# -- bit-identity -------------------------------------------------------------
+
+
+def test_fastpath_run_is_bit_identical_to_reference():
+    """The whole contract in one assertion: events, trace ring (types,
+    timestamps, field order), and metrics are identical on vs off."""
+    off = run_scenario(flows=8, packets_per_flow=40, fastpath=False)
+    on = run_scenario(flows=8, packets_per_flow=40, fastpath=True)
+    report = identity_report(off, on)
+    assert all(report.values()), report
+    assert on["fastpath_stats"]["flow_cache"]["hits"] > 0
+
+
+def test_fastpath_identical_under_sync_counter_writes():
+    """A write-per-packet app exercises the replication protocol on
+    every replay; identity must hold there too."""
+    def run(fastpath):
+        sim = Simulator(seed=3)
+        dep = deploy(sim, SyncCounterApp)
+        if fastpath:
+            FastPath.install(sim)
+        sender = dep.bed.externals[0]
+        receiver = dep.bed.servers[0]
+        for i in range(60):
+            sim.schedule(i * 10.0, lambda: sender.send(
+                Packet.udp(sender.ip, receiver.ip, 5555, 7777)))
+        sim.run_until_idle()
+        ring = [(r.ts, r.type, tuple(r.fields.items()))
+                for r in sim.tracer.tail(len(sim.tracer))]
+        metrics = {k: v for k, v in sim.metrics.snapshot().items()
+                   if not k.startswith("fastpath.")}
+        return sim.events_executed, ring, metrics
+
+    assert run(False) == run(True)
+
+
+def test_impaired_link_falls_back_to_reference_path():
+    """Lanes decline lossy/reordering links; identity holds because the
+    reference path (and its seeded RNG draws) executes either way."""
+    def run(fastpath):
+        sim = Simulator(seed=21)
+        a = SinkNode(sim, "a")
+        b = SinkNode(sim, "b")
+        Link(sim, a.new_port(), b.new_port(), loss_rate=0.3)
+        if fastpath:
+            FastPath.install(sim)
+        for _ in range(200):
+            a.ports[0].send(Packet.udp(1, 2, 3, 4))
+        sim.run_until_idle()
+        return len(b.received), dict(sim.counters)
+
+    assert run(False) == run(True)
+    # And the lane really did decline: no batched deliveries, no lanes
+    # doing work on a lossy link.
+    sim = Simulator(seed=21)
+    a = SinkNode(sim, "a")
+    b = SinkNode(sim, "b")
+    Link(sim, a.new_port(), b.new_port(), loss_rate=0.3)
+    fp = FastPath.install(sim)
+    a.ports[0].send(Packet.udp(1, 2, 3, 4))
+    sim.run_until_idle()
+    assert fp.stats()["lanes"]["batched_deliveries"] == 0
+
+
+# -- lane batching ------------------------------------------------------------
+
+
+def test_same_edge_batching_on_infinite_bandwidth_link():
+    """Zero serialization + back-to-back sends in one event coalesce
+    into one delivery event; results stay identical to the reference."""
+    def run(fastpath):
+        sim = Simulator(seed=2)
+        a = SinkNode(sim, "a")
+        b = SinkNode(sim, "b")
+        Link(sim, a.new_port(), b.new_port(), latency_us=1.0,
+             bandwidth_gbps=float("inf"))
+        fp = FastPath.install(sim) if fastpath else None
+
+        def burst():
+            for i in range(5):
+                pkt = Packet.udp(1, 2, 3, 4)
+                pkt.meta["i"] = i
+                a.ports[0].send(pkt)
+
+        sim.schedule(1.0, burst)
+        sim.run_until_idle()
+        order = [pkt.meta["i"] for pkt in b.received]
+        times = list(b.receive_times)
+        return order, times, fp
+
+    ref_order, ref_times, _ = run(False)
+    fp_order, fp_times, fp = run(True)
+    assert fp_order == ref_order
+    assert fp_times == ref_times
+    assert fp.batched_deliveries == 4  # 5 sends, 1 event, 4 coalesced
+
+
+def test_serializing_link_never_batches():
+    """Consecutive transmits on a finite-bandwidth link land at strictly
+    increasing instants, so coalescing never engages (by design — see
+    docs/PERFORMANCE.md)."""
+    sim = Simulator(seed=2)
+    a = SinkNode(sim, "a")
+    b = SinkNode(sim, "b")
+    Link(sim, a.new_port(), b.new_port(), latency_us=1.0,
+         bandwidth_gbps=10.0)
+    fp = FastPath.install(sim)
+    for _ in range(10):
+        a.ports[0].send(Packet.udp(1, 2, 3, 4))
+    sim.run_until_idle()
+    assert len(b.received) == 10
+    assert fp.batched_deliveries == 0
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_tools_fastpath_stats_and_diff(capsys):
+    from repro.tools.runner import main as tools_main
+
+    assert tools_main(["fastpath", "--flows", "4", "--packets", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "flow cache" in out and "invalidations" in out
+
+    assert tools_main(["fastpath", "--diff", "--flows", "4",
+                       "--packets", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "identical" in out and "DIVERGED" not in out
+
+
+def test_tools_bench_section_parser():
+    from repro.tools.runner import _parse_sections
+
+    bar = "=" * 74
+    text = "\n".join([
+        "", bar, "Fig 1 — demo", bar, "row a", "row b", "",
+        "", bar, "Fig 2 — other", bar, "row c", "",
+    ])
+    sections = _parse_sections(text)
+    assert sections == {
+        "Fig 1 — demo": ["row a", "row b"],
+        "Fig 2 — other": ["row c"],
+    }
