@@ -1,0 +1,140 @@
+"""RedPlane vs a NetChain-style in-switch store: latency vs fault tolerance.
+
+NetChain (NSDI'18) keeps replicated key-value state in switch register
+arrays and answers queries from the pipeline itself, so a store request
+costs roughly half the RTT of RedPlane's server path (no server hop, no
+DRAM lookup delay). The price is durability: register SRAM is volatile,
+so a crash of the store switch loses every record. RedPlane deliberately
+takes the other side of the tradeoff (§4, §8): state lives off-switch in
+replicated servers, and with the write-ahead-log backend a hard crash of
+the chain head replays every acknowledged write from disk.
+
+This experiment runs the same Sync-Counter workload (worst case: one
+synchronous store write per packet) against three store configurations
+and reports both sides of the tradeoff:
+
+* write-ack latency (the ``redplane.ack_rtt_us`` the engine measures
+  from request emission to ack arrival), and
+* how many flow records survive a hard crash + restart of the store.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+
+from repro import Simulator, deploy
+from repro.analysis import summarize
+from repro.apps.counter import SyncCounterApp
+from repro.deploy import deploy_netchain
+from repro.statestore.wal import WALBackend
+from repro.workloads.harness import EchoResponder, RttProbe
+from repro.workloads.traces import five_tuple_trace
+
+from _bench_utils import emit, print_header, print_rows
+
+NUM_PACKETS = 2000
+NUM_FLOWS = 40
+STAGGER_US = 300.0
+SEED = 17
+
+
+def _ack_rtts(sim):
+    """Every retained write/lease ack RTT sample, across both engines."""
+    samples = []
+    for inst in sim.metrics.instruments("redplane.ack_rtt_us"):
+        samples.extend(inst.samples)
+    return samples
+
+
+def _run_workload(sim, dep):
+    s11, e1 = dep.bed.servers[0], dep.bed.externals[0]
+    EchoResponder(e1)
+    probe = RttProbe(s11)
+    probe.replay(five_tuple_trace(NUM_PACKETS, NUM_FLOWS, s11.ip, e1.ip,
+                                  flow_stagger_us=STAGGER_US, seed=SEED))
+    sim.run_until_idle()
+    return probe
+
+
+def run_server_store(wal_dir=None):
+    """RedPlane's server store (chain of three); WAL backend when given."""
+    sim = Simulator(seed=SEED)
+    backend_factory = None
+    if wal_dir is not None:
+        backend_factory = lambda name: WALBackend(os.path.join(wal_dir, name))
+    dep = deploy(sim, SyncCounterApp, backend_factory=backend_factory)
+    _run_workload(sim, dep)
+    head = dep.stores[0]
+    before = len(head.backend.records)
+    head.crash()
+    head.restart()
+    after = len(head.backend.records)
+    return {"acks": _ack_rtts(sim), "records": before, "survive": after}
+
+
+def run_netchain_store():
+    """The in-switch store: tor1's pipeline answers from register arrays."""
+    sim = Simulator(seed=SEED)
+    dep = deploy_netchain(sim, SyncCounterApp)
+    _run_workload(sim, dep)
+    backend = dep.netchain.backend
+    before = len(backend.records)
+    backend.wipe()  # the switch crashes: register SRAM is gone
+    backend.recover()
+    after = len(backend.records)
+    return {"acks": _ack_rtts(sim), "records": before, "survive": after}
+
+
+def test_netchain_tradeoff(run_once):
+    def experiment():
+        wal_dir = tempfile.mkdtemp(prefix="repro-bench-wal-")
+        try:
+            return {
+                "RedPlane (memory)": run_server_store(),
+                "RedPlane (WAL)": run_server_store(wal_dir=wal_dir),
+                "NetChain in-switch": run_netchain_store(),
+            }
+        finally:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+
+    results = run_once(experiment)
+    print_header("RedPlane vs NetChain store — write-ack RTT and crash "
+                 "survival (us)")
+    rows = []
+    stats = {}
+    for name, r in results.items():
+        s = summarize(r["acks"])
+        stats[name] = s
+        rows.append({
+            "store": name, "p50": s["p50"], "p90": s["p90"],
+            "p99": s["p99"], "acks": int(s["count"]),
+            "records": r["records"], "survive_crash": r["survive"],
+        })
+    print_rows(rows, ["store", "p50", "p90", "p99", "acks", "records",
+                      "survive_crash"])
+    emit("NetChain answers from the pipeline (sub-server-RTT acks) but a "
+         "switch crash")
+    emit("loses every record; RedPlane pays the server round trip and the "
+         "WAL backend")
+    emit("replays all acknowledged writes after a hard crash of the chain "
+         "head.")
+
+    # Shape assertions (the tradeoff both papers claim).
+    mem, wal, nc = (stats["RedPlane (memory)"], stats["RedPlane (WAL)"],
+                    stats["NetChain in-switch"])
+    # The in-switch store answers faster than the server chain.
+    assert nc["p50"] < mem["p50"], (nc["p50"], mem["p50"])
+    assert nc["p99"] < mem["p99"], (nc["p99"], mem["p99"])
+    # The WAL's durability costs nothing on the simulated request path
+    # (persistence is modeled off the ack critical path).
+    assert abs(wal["p50"] - mem["p50"]) < 2.0, (wal["p50"], mem["p50"])
+    # Fault tolerance: only the WAL store survives a hard crash. All
+    # three stores saw the same trace, so they hold the same records.
+    counts = {r["records"] for r in results.values()}
+    assert len(counts) == 1 and counts.pop() > 0, counts
+    assert results["RedPlane (WAL)"]["survive"] == \
+        results["RedPlane (WAL)"]["records"]
+    assert results["RedPlane (memory)"]["survive"] == 0
+    assert results["NetChain in-switch"]["survive"] == 0

@@ -54,6 +54,11 @@ class Campaign:
     #: Routing failure-detection delay for fail-stop faults (gray faults
     #: are never detected — that is what makes them gray).
     detect_delay_us: float = 50_000.0
+    #: Storage backend of every store node: ``"memory"`` (the default
+    #: volatile reference) or ``"wal"`` (the runner provisions a scratch
+    #: directory per node and wires a
+    #: :class:`~repro.statestore.wal.WALBackend` into it).
+    store_backend: str = "memory"
 
 
 def _single_failover(s: FailureSchedule) -> None:
@@ -93,6 +98,11 @@ def _duplicate_storm(s: FailureSchedule) -> None:
     s.impair_link_at(100_000.0, link,
                      LinkImpairment(duplicate_rate=0.3, jitter_us=10.0))
     s.clear_link_at(400_000.0, link)
+
+
+def _store_crash_recover(s: FailureSchedule) -> None:
+    s.crash_store_at(250_000.0, 0)
+    s.recover_store_from_disk_at(400_000.0, 0)
 
 
 def _corruption_sweep(s: FailureSchedule) -> None:
@@ -158,6 +168,15 @@ CAMPAIGNS: Dict[str, Campaign] = {
                         "ack filtering (§5.2) must dedup the storm.",
             duration_us=1_200_000.0, packets=50, gap_us=8_000.0,
             build=_duplicate_storm,
+        ),
+        Campaign(
+            name="store_crash_recover_wal",
+            description="The chain head hard-crashes (DRAM lost) and "
+                        "restarts 150ms later, replaying its write-ahead "
+                        "log; every acknowledged write must survive the "
+                        "rebuild (sequence monotonicity holds across it).",
+            duration_us=1_500_000.0, packets=40, gap_us=10_000.0,
+            build=_store_crash_recover, store_backend="wal",
         ),
         Campaign(
             name="corruption_sweep",

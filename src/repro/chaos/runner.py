@@ -18,6 +18,9 @@ safety violations and consistency breaks are not.
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import tempfile
 from typing import Dict, List, Optional
 
 from repro.chaos.campaigns import CAMPAIGNS, Campaign
@@ -28,6 +31,7 @@ from repro.model.linearizability import check_counter_history
 from repro.model.monitors import InvariantMonitor
 from repro.net.simulator import Simulator
 from repro.statestore.failover import StoreFailoverCoordinator
+from repro.statestore.wal import WALBackend
 from repro.telemetry.metrics import percentile
 from repro.workloads.failures import FailureSchedule
 
@@ -37,7 +41,8 @@ DRAIN_US = 500_000.0
 
 #: Fault kinds that end a fault (ignored when measuring recovery).
 _CLEAR_KINDS = frozenset(
-    {"recover_node", "recover_link", "clear_link", "restore_store"}
+    {"recover_node", "recover_link", "clear_link", "restore_store",
+     "restart_store"}
 )
 
 
@@ -67,7 +72,35 @@ def run_campaign(
     config_kwargs = {"lease_period_us": campaign.lease_period_us}
     if campaign.retransmit_timeout_us is not None:
         config_kwargs["retransmit_timeout_us"] = campaign.retransmit_timeout_us
-    dep = deploy(sim, EchoCounterApp, config=RedPlaneConfig(**config_kwargs))
+
+    # Durable campaigns run each store node on a WAL backend rooted in a
+    # scratch directory that lives exactly as long as the run. The path
+    # never reaches the verdict report, so reports stay byte-identical
+    # across runs (and machines) despite the unique tempdir.
+    scratch: Optional[str] = None
+    backend_factory = None
+    if campaign.store_backend == "wal":
+        scratch = tempfile.mkdtemp(prefix="repro-chaos-wal-")
+        root = scratch
+        backend_factory = lambda name: WALBackend(os.path.join(root, name))
+    elif campaign.store_backend != "memory":
+        raise ValueError(
+            f"unknown store backend {campaign.store_backend!r} "
+            f"for campaign {campaign.name!r}"
+        )
+
+    try:
+        return _run_deployed(campaign, seed, sim, trace_path, fastpath,
+                             backend_factory, config_kwargs)
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+def _run_deployed(campaign, seed, sim, trace_path, fastpath,
+                  backend_factory, config_kwargs) -> Dict[str, object]:
+    dep = deploy(sim, EchoCounterApp, config=RedPlaneConfig(**config_kwargs),
+                 backend_factory=backend_factory)
     if fastpath:
         from repro.fastpath import FastPath
 
@@ -163,6 +196,9 @@ def _build_report(
         "chain_repairs": int(metrics.total("store.chain_repairs")),
         "chain_reconfigurations": int(
             metrics.total("store.chain_reconfigurations")),
+        "store_recoveries": int(metrics.total("store.backend.recoveries")),
+        "wal_records_replayed": int(
+            metrics.total("store.backend.wal_replayed")),
         "link_drops_partition": int(
             metrics.total("link.drops", reason="partition")),
         "link_drops_corrupt": int(
@@ -177,6 +213,7 @@ def _build_report(
         "campaign": campaign.name,
         "description": campaign.description,
         "seed": seed,
+        "store_backend": campaign.store_backend,
         "duration_us": campaign.duration_us,
         "faults": schedule.detailed_summary(),
         "traffic": {

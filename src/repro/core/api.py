@@ -11,11 +11,14 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.net import constants
 from repro.net.packet import FlowKey
 from repro.switch.asic import SwitchASIC
 from repro.core.app import InSwitchApp
 from repro.core.engine import RedPlaneConfig, RedPlaneEngine, RedPlaneMode
 from repro.core.snapshot import LazySnapshotArray, SnapshotReplicator
+from repro.statestore.netchain import NetChainBackend, NetChainStoreBlock
+from repro.statestore.server import StateAllocator
 from repro.statestore.sharding import ShardMap
 
 
@@ -55,3 +58,27 @@ def attach_snapshot_replication(
     if start:
         replicator.start()
     return replicator
+
+
+def attach_netchain_store(
+    switch: SwitchASIC,
+    backend: Optional[NetChainBackend] = None,
+    lease_period_us: float = constants.LEASE_PERIOD_US,
+    allocator: Optional[StateAllocator] = None,
+) -> NetChainStoreBlock:
+    """Serve a shard's state from ``switch`` itself, NetChain-style.
+
+    Instead of a server-based :class:`~repro.statestore.server.StateStoreNode`,
+    the shard's records live in register arrays on ``switch`` and every
+    request is answered from the pipeline in sub-RTT time — the design
+    point RedPlane §8 contrasts against: faster, but the state is SRAM
+    and vanishes on a switch crash (``recover()`` finds nothing).
+
+    Appends the store block to the switch pipeline and accounts its SRAM
+    in the switch's resource ledger. Returns the block for introspection.
+    """
+    block = NetChainStoreBlock(
+        switch, backend=backend, lease_period_us=lease_period_us, allocator=allocator
+    )
+    switch.add_block(block)
+    return block

@@ -51,13 +51,14 @@ from repro.core.protocol import (
     parse_protocol_packet,
     unpack_packets,
 )
+from repro.statestore.netchain import NETCHAIN_UDP_PORT
 from repro.statestore.server import CHAIN_UDP_PORT
 from repro.statestore.sharding import ShardMap
 from repro.telemetry import trace as tt
 from repro.telemetry.compat import StatGroupView
 
 #: UDP ports whose traffic is never treated as application traffic.
-_PROTOCOL_PORTS = {STORE_UDP_PORT, SWITCH_UDP_PORT, CHAIN_UDP_PORT}
+_PROTOCOL_PORTS = {STORE_UDP_PORT, SWITCH_UDP_PORT, CHAIN_UDP_PORT, NETCHAIN_UDP_PORT}
 
 #: aux value marking a read-buffer request whose packet has not been
 #: processed yet (it arrived while the flow's lease was still pending).

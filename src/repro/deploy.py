@@ -12,20 +12,31 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.net import constants
+from repro.net.routing import L3Switch
 from repro.net.simulator import Simulator
 from repro.net.topology import Testbed, build_testbed
 from repro.switch.asic import SwitchASIC
 from repro.core.app import InSwitchApp
 from repro.core.engine import RedPlaneConfig, RedPlaneEngine
-from repro.core.api import attach_redplane
+from repro.core.api import attach_netchain_store, attach_redplane
 from repro.core.protocol import STORE_UDP_PORT
+from repro.statestore.backend import StateStoreBackend
 from repro.statestore.failover import MutableShardMap
+from repro.statestore.netchain import (
+    NETCHAIN_UDP_PORT,
+    NetChainBackend,
+    NetChainStoreBlock,
+)
 from repro.statestore.server import StateAllocator, StateStoreNode, build_chain
 from repro.statestore.sharding import ShardAddress, ShardMap
 
 #: Builds one application instance per switch (apps are stateful objects,
 #: so each switch needs its own).
 AppFactory = Callable[[], InSwitchApp]
+
+#: Builds one storage backend per store node, keyed by the node's name.
+#: ``None`` keeps the default in-memory backend.
+BackendFactory = Callable[[str], StateStoreBackend]
 
 
 @dataclass
@@ -40,6 +51,8 @@ class Deployment:
     shard_map: Optional[ShardMap] = None
     #: Store nodes grouped into replication chains, one list per shard.
     chains: List[List[StateStoreNode]] = field(default_factory=list)
+    #: The in-switch store block when deployed via :func:`deploy_netchain`.
+    netchain: Optional[NetChainStoreBlock] = None
 
     @property
     def switches(self) -> List[SwitchASIC]:
@@ -59,6 +72,7 @@ def deploy(
     link_loss: float = 0.0,
     link_reorder: float = 0.0,
     lease_period_us: float = constants.LEASE_PERIOD_US,
+    backend_factory: Optional[BackendFactory] = None,
 ) -> Deployment:
     """Build the testbed and attach a RedPlane-enabled app to each agg switch.
 
@@ -67,6 +81,10 @@ def deploy(
     chain of three (one server per rack); Fig 13 uses up to three
     single-server shards. ``num_shards * chain_length`` must not exceed
     the three store servers of the testbed.
+
+    ``backend_factory(name)`` selects the storage backend of each store
+    node (e.g. ``lambda name: WALBackend(f"{dir}/{name}")`` for durable
+    crash recovery); by default every node keeps the in-memory backend.
     """
     if num_shards * chain_length > 3:
         raise ValueError(
@@ -80,8 +98,10 @@ def deploy(
         return SwitchASIC(sim_, name, loopback_ip)
 
     def make_store(sim_: Simulator, name: str, ip: int) -> StateStoreNode:
+        backend = backend_factory(name) if backend_factory is not None else None
         return StateStoreNode(
-            sim_, name, ip, lease_period_us=lease_period_us, allocator=allocator
+            sim_, name, ip, lease_period_us=lease_period_us, allocator=allocator,
+            backend=backend,
         )
 
     bed = build_testbed(
@@ -104,6 +124,70 @@ def deploy(
 
     deployment = Deployment(sim=sim, bed=bed, stores=stores, shard_map=shard_map)
     deployment.chains = chains
+    for agg in bed.aggs:
+        app = app_factory()
+        engine = attach_redplane(agg, app, shard_map, config)  # type: ignore[arg-type]
+        deployment.apps[agg.name] = app
+        deployment.engines[agg.name] = engine
+    return deployment
+
+
+def deploy_netchain(
+    sim: Simulator,
+    app_factory: AppFactory,
+    config: Optional[RedPlaneConfig] = None,
+    allocator: Optional[StateAllocator] = None,
+    link_loss: float = 0.0,
+    link_reorder: float = 0.0,
+    lease_period_us: float = constants.LEASE_PERIOD_US,
+    store_size: int = 1024,
+) -> Deployment:
+    """Deploy with a NetChain-style *in-switch* store instead of servers.
+
+    ``tor1`` becomes a programmable switch running
+    :class:`~repro.statestore.netchain.NetChainStoreBlock`: the single
+    shard's records live in its register arrays and every store request
+    is answered from the pipeline — roughly half the server path's RTT,
+    at the price of losing all state if that switch crashes (the
+    fault-tolerance tradeoff of RedPlane §8 / the NetChain comparison).
+
+    The ToR is addressed at its otherwise-unused in-rack IP, so no route
+    changes are needed: the aggregation layer already sends the rack
+    prefix down to it, and replies to the requesting switch's loopback
+    ride the normal up-routes. The store servers of the testbed are
+    built but left idle (``deployment.stores`` is empty).
+    """
+    if config is not None:
+        lease_period_us = config.lease_period_us
+
+    def make_agg(sim_: Simulator, name: str, loopback_ip: int) -> SwitchASIC:
+        return SwitchASIC(sim_, name, loopback_ip)
+
+    def make_tor(sim_: Simulator, name: str, ip: int) -> L3Switch:
+        if name == "tor1":
+            return SwitchASIC(sim_, name, ip)
+        return L3Switch(sim_, name)
+
+    bed = build_testbed(
+        sim,
+        agg_factory=make_agg,
+        tor_factory=make_tor,
+        link_loss=link_loss,
+        link_reorder=link_reorder,
+    )
+    tor = bed.tors[0]
+    assert isinstance(tor, SwitchASIC)
+    backend = NetChainBackend(label=f"{tor.name}.netchain", size=store_size)
+    block = attach_netchain_store(
+        tor, backend=backend, lease_period_us=lease_period_us, allocator=allocator
+    )
+    shard_map = MutableShardMap(
+        [ShardAddress(ip=tor.ip, udp_port=NETCHAIN_UDP_PORT)]
+    )
+
+    deployment = Deployment(
+        sim=sim, bed=bed, stores=[], shard_map=shard_map, netchain=block
+    )
     for agg in bed.aggs:
         app = app_factory()
         engine = attach_redplane(agg, app, shard_map, config)  # type: ignore[arg-type]

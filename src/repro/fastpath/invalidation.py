@@ -26,9 +26,14 @@ Scopes (the rows of the invalidation matrix in docs/PERFORMANCE.md):
     Flow-table lifecycle: index reclamation
     (:meth:`RedPlaneEngine.reclaim_idle_flows`), forced lease expiry,
     and shard-ownership migration during store failover. Cached flow
-    indices die here.
+    indices die here. Store crash recovery
+    (:meth:`~repro.statestore.server.StateStoreNode.restart`) publishes
+    it too: a cached lease decision may predate the crash, and a
+    non-durable backend no longer holds the lease's record.
 ``snapshot``
-    Snapshot rotation in bounded-inconsistency deployments.
+    Snapshot rotation in bounded-inconsistency deployments; also
+    published by store crash recovery, which invalidates any snapshot
+    state the restarted backend did not replay.
 ``routing``
     Route/belief churn. The per-switch route caches are validated by
     local version counters instead (cheaper), so this scope is

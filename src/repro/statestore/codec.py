@@ -1,0 +1,179 @@
+"""Wire and durability codecs for the state store.
+
+Three record-shaped byte formats live here, out of the transport layer:
+
+* **chain updates** — internal store-to-store messages carrying the full
+  per-flow record plus the eventual requester reply (head-to-tail);
+* **chain acks** — the per-update confirmation travelling tail-to-head;
+* **durable records** — the self-delimiting frame a persistent backend
+  (:mod:`repro.statestore.wal`) appends to its log and writes into its
+  snapshots, carrying everything needed to rebuild a
+  :class:`~repro.statestore.backend.FlowRecord` after a crash.
+
+All ``unpack_*`` functions raise :class:`ValueError` on malformed input
+(truncated buffers, inconsistent length fields) rather than leaking
+:class:`struct.error`, so a corrupted chain packet or a torn log tail is
+a recoverable condition for the caller.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.core.protocol import RedPlaneMessage
+from repro.net.packet import FlowKey
+
+#: First byte of a chain packet: a state update travelling head-to-tail,
+#: or the per-update acknowledgment travelling tail-to-head.
+CHAIN_UPDATE = 0
+CHAIN_ACK = 1
+
+#: A chain update's record state: (vals, initialized, last_seq, owner_ip,
+#: lease_expiry) — the version-carrying subset of a FlowRecord.
+ChainState = Tuple[List[int], bool, int, Optional[int], float]
+
+_CHAIN_HEAD = struct.Struct("!13sB?IIdH")
+_CHAIN_ACK_BODY = struct.Struct("!13sId")
+_RECORD_HEAD = struct.Struct("!13sB?IIdH")
+_SNAPSHOT_ENTRY = struct.Struct("!HII")
+_U32 = struct.Struct("!I")
+
+
+# -- chain update (head -> tail) ----------------------------------------------
+
+
+def pack_chain_update(
+    key: FlowKey,
+    rec,
+    reply: RedPlaneMessage,
+    requester_ip: int,
+) -> bytes:
+    """Serialize one chain update: record state + reply + requester."""
+    reply_bytes = reply.pack()
+    head = _CHAIN_HEAD.pack(
+        key.pack(),
+        len(rec.vals),
+        rec.initialized,
+        rec.last_seq & 0xFFFFFFFF,
+        (rec.owner_ip or 0) & 0xFFFFFFFF,
+        rec.lease_expiry,
+        len(reply_bytes),
+    )
+    vals = b"".join(_U32.pack(v & 0xFFFFFFFF) for v in rec.vals)
+    return head + vals + reply_bytes + _U32.pack(requester_ip & 0xFFFFFFFF)
+
+
+def unpack_chain_update(
+    data: bytes,
+) -> Tuple[FlowKey, ChainState, RedPlaneMessage, int]:
+    """Inverse of :func:`pack_chain_update`; ValueError on malformed input."""
+    try:
+        key_bytes, nvals, initialized, last_seq, owner_ip, expiry, reply_len = (
+            _CHAIN_HEAD.unpack_from(data, 0)
+        )
+        offset = _CHAIN_HEAD.size
+        vals = list(
+            struct.unpack_from(f"!{nvals}I", data, offset) if nvals else ()
+        )
+        offset += 4 * nvals
+        reply_raw = data[offset : offset + reply_len]
+        if len(reply_raw) != reply_len:
+            raise ValueError("truncated chain-update reply")
+        reply = RedPlaneMessage.unpack(reply_raw)
+        offset += reply_len
+        (requester_ip,) = _U32.unpack_from(data, offset)
+    except struct.error as exc:
+        raise ValueError(f"malformed chain update: {exc}") from exc
+    key = FlowKey.unpack(key_bytes)
+    state: ChainState = (vals, initialized, last_seq, owner_ip or None, expiry)
+    return key, state, reply, requester_ip
+
+
+# -- chain ack (tail -> head) -------------------------------------------------
+
+
+def pack_chain_ack(key: FlowKey, seq: int, expiry: float) -> bytes:
+    """Serialize one hop-by-hop chain acknowledgment."""
+    return _CHAIN_ACK_BODY.pack(key.pack(), seq & 0xFFFFFFFF, expiry)
+
+
+def unpack_chain_ack(data: bytes) -> Tuple[FlowKey, int, float]:
+    """Inverse of :func:`pack_chain_ack`; ValueError on malformed input."""
+    try:
+        key_bytes, seq, expiry = _CHAIN_ACK_BODY.unpack(data)
+    except struct.error as exc:
+        raise ValueError(f"malformed chain ack: {exc}") from exc
+    return FlowKey.unpack(key_bytes), seq, expiry
+
+
+# -- durable record frames (WAL / snapshot) -----------------------------------
+
+
+def pack_record(key: FlowKey, rec) -> bytes:
+    """Serialize one full flow record for durable storage.
+
+    Carries everything a restarted replica needs to serve the flow again:
+    values, sequence number, lease ownership, and the bounded-inconsistency
+    snapshot slots. The volatile parts of a record (buffered ``pending``
+    requests) are deliberately not persisted: a crash may lose buffered
+    inputs (§4.2 permits lost inputs), never acknowledged state.
+    """
+    head = _RECORD_HEAD.pack(
+        key.pack(),
+        len(rec.vals),
+        rec.initialized,
+        rec.last_seq & 0xFFFFFFFF,
+        (rec.owner_ip or 0) & 0xFFFFFFFF,
+        rec.lease_expiry,
+        len(rec.snapshot_vals),
+    )
+    vals = b"".join(_U32.pack(v & 0xFFFFFFFF) for v in rec.vals)
+    snaps = b"".join(
+        _SNAPSHOT_ENTRY.pack(
+            slot & 0xFFFF,
+            rec.snapshot_vals[slot] & 0xFFFFFFFF,
+            rec.snapshot_seqs.get(slot, 0) & 0xFFFFFFFF,
+        )
+        for slot in sorted(rec.snapshot_vals)
+    )
+    return head + vals + snaps
+
+
+def unpack_record(data: bytes):
+    """Inverse of :func:`pack_record`; ValueError on malformed input.
+
+    Returns ``(key, record)``. Imported lazily to keep the codec free of
+    backend imports at module load time is unnecessary — the dependency is
+    one-way (backend never imports the codec's unpackers at class-def time).
+    """
+    from repro.statestore.backend import FlowRecord
+
+    try:
+        key_bytes, nvals, initialized, last_seq, owner_ip, expiry, nsnaps = (
+            _RECORD_HEAD.unpack_from(data, 0)
+        )
+        offset = _RECORD_HEAD.size
+        vals = list(
+            struct.unpack_from(f"!{nvals}I", data, offset) if nvals else ()
+        )
+        offset += 4 * nvals
+        snapshot_vals = {}
+        snapshot_seqs = {}
+        for _ in range(nsnaps):
+            slot, value, seq = _SNAPSHOT_ENTRY.unpack_from(data, offset)
+            offset += _SNAPSHOT_ENTRY.size
+            snapshot_vals[slot] = value
+            snapshot_seqs[slot] = seq
+    except struct.error as exc:
+        raise ValueError(f"malformed record frame: {exc}") from exc
+    rec = FlowRecord(
+        vals=vals,
+        initialized=initialized,
+        last_seq=last_seq,
+        owner_ip=owner_ip or None,
+        lease_expiry=expiry,
+        snapshot_vals=snapshot_vals,
+        snapshot_seqs=snapshot_seqs,
+    )
+    return FlowKey.unpack(key_bytes), rec

@@ -24,14 +24,19 @@ unacknowledged updates down the repaired chain, so an update stranded
 mid-propagation by the crash still reaches the tail — and the switch's
 stranded reply is regenerated — without waiting for a switch-side
 retransmission timeout.
+
+This module is the store's *transport* layer only. Where the records
+live is a pluggable decision: every mutation is committed through a
+:class:`~repro.statestore.backend.StateStoreBackend` before the reply
+or chain propagation leaves the node (write-ahead semantics), so a
+durable backend guarantees any acknowledged state survives a
+:meth:`StateStoreNode.crash` + :meth:`StateStoreNode.restart` cycle.
+The wire formats live in :mod:`repro.statestore.codec`.
 """
 
 from __future__ import annotations
 
-import struct
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net import constants
 from repro.net.hosts import Host
@@ -45,15 +50,30 @@ from repro.core.protocol import (
     make_protocol_packet,
     parse_protocol_packet,
 )
+from repro.statestore.backend import (
+    FlowRecord,
+    InMemoryBackend,
+    StateStoreBackend,
+)
+from repro.statestore.codec import (
+    CHAIN_ACK,
+    CHAIN_UPDATE,
+    pack_chain_ack,
+    pack_chain_update,
+    unpack_chain_ack,
+    unpack_chain_update,
+)
 from repro.telemetry import trace as tt
 
 #: UDP port used for chain-replication propagation between store nodes.
 CHAIN_UDP_PORT = 4802
 
-#: First byte of a chain packet: a state update travelling head-to-tail,
-#: or the per-update acknowledgment travelling tail-to-head.
-_CHAIN_UPDATE = 0
-_CHAIN_ACK = 1
+#: Backward-compatible aliases: the chain codec moved to
+#: :mod:`repro.statestore.codec`.
+_CHAIN_UPDATE = CHAIN_UPDATE
+_CHAIN_ACK = CHAIN_ACK
+_pack_chain_update = pack_chain_update
+_unpack_chain_update = unpack_chain_update
 
 #: ACK aux values: did the flow's state already exist at the store?
 AUX_FRESH_FLOW = 0
@@ -63,31 +83,6 @@ AUX_MIGRATED_STATE = 1
 #: (e.g. a NAT's port pool) being sharded across and managed by the store
 #: servers (§3, "Scope"): the allocation happens here, not on the switch.
 StateAllocator = Callable[[FlowKey], List[int]]
-
-
-@dataclass
-class FlowRecord:
-    """Everything the store knows about one flow."""
-
-    vals: List[int] = field(default_factory=list)
-    initialized: bool = False
-    last_seq: int = 0
-    owner_ip: Optional[int] = None
-    lease_expiry: float = 0.0
-    #: Buffered lease requests from other switches (head node only), as
-    #: ``(msg, requester_ip, origin_uid)`` — the origin uid is the span id
-    #: of the request packet, threaded into the eventual reply's lineage.
-    pending: Deque[Tuple[RedPlaneMessage, int, int]] = field(
-        default_factory=deque)
-    #: Bounded-inconsistency snapshots: slot index -> (value, epoch seq).
-    snapshot_vals: Dict[int, int] = field(default_factory=dict)
-    snapshot_seqs: Dict[int, int] = field(default_factory=dict)
-
-    def lease_active(self, now: float) -> bool:
-        return self.owner_ip is not None and self.lease_expiry > now
-
-    def held_by_other(self, requester_ip: int, now: float) -> bool:
-        return self.lease_active(now) and self.owner_ip != requester_ip
 
 
 class StateStoreNode(Host):
@@ -101,6 +96,7 @@ class StateStoreNode(Host):
         lease_period_us: float = constants.LEASE_PERIOD_US,
         proc_delay_us: float = constants.STORE_PROC_US,
         allocator: Optional[StateAllocator] = None,
+        backend: Optional[StateStoreBackend] = None,
     ) -> None:
         super().__init__(sim, name, ip)
         self.lease_period_us = lease_period_us
@@ -111,7 +107,11 @@ class StateStoreNode(Host):
         self.service_time_us = 0.0
         self._busy_until = 0.0
         self.allocator = allocator
-        self.records: Dict[FlowKey, FlowRecord] = {}
+        #: Storage backend holding the per-flow records. Defaults to the
+        #: in-memory reference backend (bit-identical to the historical
+        #: embedded dict).
+        self.backend = backend if backend is not None else InMemoryBackend()
+        self.backend.bind(self)
         #: Next node in the chain (None for the tail / unreplicated store).
         self.successor_ip: Optional[int] = None
         #: Chain updates forwarded downstream and not yet acknowledged:
@@ -138,6 +138,7 @@ class StateStoreNode(Host):
         self._c_leases = m.counter("store.leases_granted", node=name)
         self._c_buffered = m.counter("store.requests_buffered", node=name)
         self._c_repairs = m.counter("store.chain_repairs", node=name)
+        self._c_recoveries = m.counter("store.backend.recoveries", node=name)
 
     @property
     def requests_processed(self) -> int:
@@ -165,12 +166,51 @@ class StateStoreNode(Host):
 
     # -- helpers ------------------------------------------------------------
 
+    @property
+    def records(self) -> Dict[FlowKey, FlowRecord]:
+        """The backend's live record mapping (insertion-ordered)."""
+        return self.backend.records
+
     def record(self, key: FlowKey) -> FlowRecord:
-        rec = self.records.get(key)
-        if rec is None:
-            rec = FlowRecord()
-            self.records[key] = rec
-        return rec
+        return self.backend.record(key)
+
+    # -- crash / recovery ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Hard crash: the process dies and its volatile memory is lost.
+
+        Unlike a plain :meth:`fail` (unreachable but DRAM intact), a crash
+        wipes the backend's volatile state and the chain-inflight ledger.
+        Whatever the backend persisted to a durable medium stays there for
+        :meth:`restart` to replay.
+        """
+        self.fail()
+        self.backend.wipe()
+        self._chain_inflight.clear()
+        self._busy_until = 0.0
+
+    def restart(self) -> int:
+        """Restart after a crash, rebuilding records from the backend.
+
+        Returns the number of records recovered. Emits a ``store.recover``
+        trace event and flushes the fast-path lease/snapshot scopes: any
+        cached lease or snapshot decision predating the crash may refer to
+        state the (possibly non-durable) backend no longer holds.
+        """
+        recovered = self.backend.recover()
+        self.recover()
+        self._c_recoveries.inc()
+        self.sim.tracer.emit(
+            tt.STORE_RECOVER,
+            node=self.name,
+            records=recovered,
+            backend=self.backend.name,
+        )
+        fp = self.sim.fastpath
+        if fp is not None:
+            fp.bus.publish("lease")
+            fp.bus.publish("snapshot")
+        return recovered
 
     def _reply(self, msg: RedPlaneMessage, to_ip: int,
                origin_uid: int = 0) -> None:
@@ -223,6 +263,7 @@ class StateStoreNode(Host):
             # Asynchronous snapshots are filtered by epoch sequencing only;
             # they never block on leases (bounded-inconsistency mode, §5.4).
             reply = self._apply(rec, msg, requester_ip, now)
+            self.backend.commit(msg.flow_key, rec)
             self._propagate_or_reply(msg.flow_key, rec, reply, requester_ip,
                                      origin_uid=origin_uid)
             return
@@ -246,6 +287,9 @@ class StateStoreNode(Host):
             return
 
         reply = self._apply(rec, msg, requester_ip, now)
+        # Write-ahead: the record is durable before the reply (or the
+        # chain update that will eventually produce it) leaves this node.
+        self.backend.commit(msg.flow_key, rec)
         self._propagate_or_reply(msg.flow_key, rec, reply, requester_ip,
                                  origin_uid=origin_uid)
 
@@ -350,6 +394,7 @@ class StateStoreNode(Host):
                 )
                 return
             reply = self._apply(rec, msg, requester_ip, now)
+            self.backend.commit(key, rec)
             self._propagate_or_reply(key, rec, reply, requester_ip,
                                      origin_uid=origin_uid)
 
@@ -378,7 +423,7 @@ class StateStoreNode(Host):
         self._chain_inflight[key] = (
             version, reply, requester_ip, upstream_ip, origin_uid
         )
-        payload = bytes([_CHAIN_UPDATE]) + _pack_chain_update(
+        payload = bytes([CHAIN_UPDATE]) + pack_chain_update(
             key, rec, reply, requester_ip
         )
         pkt = Packet.udp(
@@ -396,9 +441,7 @@ class StateStoreNode(Host):
         self, key: FlowKey, seq: int, expiry: float, to_ip: int,
         origin_uid: int = 0,
     ) -> None:
-        payload = bytes([_CHAIN_ACK]) + struct.pack(
-            "!13sId", key.pack(), seq & 0xFFFFFFFF, expiry
-        )
+        payload = bytes([CHAIN_ACK]) + pack_chain_ack(key, seq, expiry)
         pkt = Packet.udp(self.ip, to_ip, CHAIN_UDP_PORT, CHAIN_UDP_PORT, payload)
         pkt.meta["rp_kind"] = "chain"
         if origin_uid:
@@ -407,11 +450,11 @@ class StateStoreNode(Host):
 
     def _on_chain_packet(self, pkt: Packet) -> None:
         kind, body = pkt.payload[0], pkt.payload[1:]
-        if kind == _CHAIN_ACK:
-            key_bytes, seq, expiry = struct.unpack("!13sId", body)
-            self._handle_chain_ack(FlowKey.unpack(key_bytes), seq, expiry)
+        if kind == CHAIN_ACK:
+            key, seq, expiry = unpack_chain_ack(body)
+            self._handle_chain_ack(key, seq, expiry)
             return
-        key, state, reply, requester_ip = _unpack_chain_update(body)
+        key, state, reply, requester_ip = unpack_chain_update(body)
         origin_uid = int(pkt.meta.get("parent_uid", 0))
         self.sim.schedule(
             self.proc_delay_us, self._apply_chain, key, state, reply,
@@ -461,6 +504,7 @@ class StateStoreNode(Host):
             if reply.seq >= rec.snapshot_seqs.get(reply.aux, -1):
                 rec.snapshot_vals[reply.aux] = reply.vals[0]
                 rec.snapshot_seqs[reply.aux] = reply.seq
+        self.backend.commit(key, rec)
         # The reply (and its piggybacked outputs) must travel regardless:
         # even a stale-looking update acknowledges a real request.
         self._propagate_or_reply(
@@ -495,50 +539,6 @@ class StateStoreNode(Host):
             successor=self.successor_ip or 0,
         )
         return len(stranded)
-
-
-# -- chain update wire format -------------------------------------------------
-#
-# Chain updates are internal store-to-store messages. They carry the full
-# per-flow record plus the eventual reply; we serialize compactly enough to
-# account bandwidth honestly while keeping parsing trivial.
-
-
-def _pack_chain_update(
-    key: FlowKey,
-    rec: FlowRecord,
-    reply: RedPlaneMessage,
-    requester_ip: int,
-) -> bytes:
-    reply_bytes = reply.pack()
-    head = struct.pack(
-        "!13sB?IIdH",
-        key.pack(),
-        len(rec.vals),
-        rec.initialized,
-        rec.last_seq & 0xFFFFFFFF,
-        (rec.owner_ip or 0) & 0xFFFFFFFF,
-        rec.lease_expiry,
-        len(reply_bytes),
-    )
-    vals = b"".join(struct.pack("!I", v & 0xFFFFFFFF) for v in rec.vals)
-    return head + vals + reply_bytes + struct.pack("!I", requester_ip)
-
-
-def _unpack_chain_update(data: bytes):
-    head_struct = struct.Struct("!13sB?IIdH")
-    key_bytes, nvals, initialized, last_seq, owner_ip, expiry, reply_len = (
-        head_struct.unpack_from(data, 0)
-    )
-    offset = head_struct.size
-    vals = list(struct.unpack_from(f"!{nvals}I", data, offset) if nvals else ())
-    offset += 4 * nvals
-    reply = RedPlaneMessage.unpack(data[offset : offset + reply_len])
-    offset += reply_len
-    (requester_ip,) = struct.unpack_from("!I", data, offset)
-    key = FlowKey.unpack(key_bytes)
-    state = (vals, initialized, last_seq, owner_ip or None, expiry)
-    return key, state, reply, requester_ip
 
 
 def build_chain(nodes: List[StateStoreNode]) -> None:

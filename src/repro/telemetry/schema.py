@@ -73,6 +73,7 @@ TRACE_EVENTS: Dict[str, EventSpec] = {
     tt.SNAPSHOT: _spec(("switch", "slot", "epoch")),
     tt.FAILOVER: _spec(("shard", "evicted", "new_head", "survivors")),
     tt.CHAIN_REPAIR: _spec(("node", "updates", "successor")),
+    tt.STORE_RECOVER: _spec(("node", "records", "backend")),
     tt.FAULT_INJECT: _spec(("kind", "target", "detail")),
     tt.FAULT_CLEAR: _spec(("kind", "target", "detail")),
 }
@@ -146,6 +147,24 @@ METRICS: Tuple[MetricSpec, ...] = (
     _m("redplane.resource.*", "gauge", "switch"),
     _m("redplane.*", "counter", "switch"),
     _m("store.chain_reconfigurations", "counter"),
+    # Per-node transport-layer counters (StateStoreNode and the NetChain
+    # in-switch store block), declared explicitly rather than through the
+    # trailing wildcard so renames surface as RT304 at the lint.
+    _m("store.requests_processed", "counter", "node"),
+    _m("store.updates_applied", "counter", "node"),
+    _m("store.updates_rejected_stale", "counter", "node"),
+    _m("store.leases_granted", "counter", "node"),
+    _m("store.requests_buffered", "counter", "node"),
+    _m("store.chain_repairs", "counter", "node"),
+    # Storage-backend instrumentation (repro.statestore.backend and its
+    # implementations): crash-recovery and WAL durability accounting.
+    _m("store.backend.recoveries", "counter", "node"),
+    _m("store.backend.wal_appends", "counter", "node"),
+    _m("store.backend.wal_snapshots", "counter", "node"),
+    _m("store.backend.wal_replayed", "counter", "node"),
+    _m("store.backend.wal_bytes", "gauge", "node"),
+    _m("store.backend.netchain_register_bits", "gauge", "node"),
+    _m("store.backend.*", "counter", "node"),
     _m("store.*", "counter", "node"),
 )
 

@@ -20,7 +20,7 @@ from typing import List, Optional
 from repro.verify.determinism_pass import verify_determinism
 from repro.verify.diagnostics import Report, SuppressionIndex
 from repro.verify.fastpath_pass import verify_fastpath
-from repro.verify.pipeline_pass import verify_app
+from repro.verify.pipeline_pass import verify_app, verify_netchain
 from repro.verify.telemetry_pass import verify_telemetry
 
 
@@ -49,12 +49,14 @@ def run_verify(
     report = Report()
     supp = SuppressionIndex()
 
-    if app is not None:
+    if app == "netchain":
+        apps = {}
+    elif app is not None:
         spec = BUILTIN_APPS.get(app)
         if spec is None:
             print(
                 f"unknown app {app!r}; builtin apps: "
-                f"{', '.join(sorted(BUILTIN_APPS))}",
+                f"{', '.join(sorted(BUILTIN_APPS))}, netchain",
                 file=sys.stderr,
             )
             return 2
@@ -78,6 +80,10 @@ def run_verify(
             suppressions=supp,
             root=root,
         )
+    # The NetChain in-switch store is a deployable switch program too:
+    # verify its ToR pipeline whenever the full app registry is verified.
+    if app == "netchain" or (app is None and (all_targets or not paths)):
+        verify_netchain(report=report, suppressions=supp, root=root)
     if lint_paths:
         verify_determinism(
             lint_paths, report=report, suppressions=supp, root=root

@@ -53,6 +53,9 @@ STAGES = 12
 ALUS_PER_STAGE = int(CAPACITY["meter_alus"] // STAGES)
 
 _ACCESS_METHODS = ("access", "read", "write")
+#: Control-plane register operations: legal from timers/CP handlers, an
+#: RP150 error when reachable on a per-packet path.
+_CP_METHODS = ("cp_read", "cp_write")
 _REGISTER_TYPES = (RegisterArray, PairedRegisterArray)
 #: Paths kept per function summary / per composition step. Beyond this the
 #: analysis stays sound for RP101 (paths are only merged, never dropped
@@ -208,6 +211,25 @@ class _PipelineAnalyzer:
         self._defs: Dict[str, Dict[Tuple[str, int], ast.AST]] = {}
         self._once: Set[Tuple] = set()
         self._class_sites: Dict[type, Tuple[str, int]] = {}
+        # Registers owned by in-switch store backends (RP150): serving a
+        # packet from these via cp_read/cp_write would dodge the pipeline
+        # accounting. The engine's OWN registers legitimately mix access()
+        # with documented cp_* modeling shortcuts, so the rule is scoped
+        # to store-backend state only.
+        self._store_reg_ids: Set[int] = set()
+        from repro.statestore.backend import StateStoreBackend
+
+        for block in asic.pipeline.blocks:
+            for value in vars(block).values():
+                if isinstance(value, StateStoreBackend):
+                    for attr in vars(value).values():
+                        if isinstance(attr, _REGISTER_TYPES):
+                            self._store_reg_ids.add(id(attr))
+                        elif isinstance(attr, (list, tuple)):
+                            self._store_reg_ids.update(
+                                id(item) for item in attr
+                                if isinstance(item, _REGISTER_TYPES)
+                            )
 
     # -- diagnostics ----------------------------------------------------------
 
@@ -466,6 +488,21 @@ class _PipelineAnalyzer:
                     c[key] = c.get(key, 0) + 1
                     out.append({"c": c, "v": "U"})
                 return out
+            if (
+                base_ref is not None
+                and isinstance(base_ref.exemplar, _REGISTER_TYPES)
+                and method in _CP_METHODS
+                and id(base_ref.exemplar) in self._store_reg_ids
+            ):
+                self._diag_once(
+                    "RP150",
+                    f"store-backend register operation "
+                    f"'{ast.unparse(node.func)}' is reachable on a "
+                    "per-packet path; serve packets through access(ctx, "
+                    "...) so the pipeline accounts the stateful-ALU use",
+                    frame.file, node.lineno, site=f"block={frame.block}",
+                )
+                return effs
             if base_ref is not None and isinstance(
                 base_ref.exemplar, MirrorSession
             ):
@@ -1268,5 +1305,35 @@ def verify_app(
     report.analyzed[f"app:{name}"] = (
         f"{type(app).__name__} on {switch.name} "
         f"({len(switch.pipeline.blocks)} blocks)"
+    )
+    return report
+
+
+def verify_netchain(
+    report: Optional[Report] = None,
+    suppressions: Optional[SuppressionIndex] = None,
+    root: Optional[str] = None,
+) -> Report:
+    """Deploy the NetChain-style in-switch store and verify its ToR program.
+
+    The store block serves every request from register arrays inside a
+    single pipeline pass, so it is subject to the same static discipline
+    as the apps: one access per array per packet (RP101), no per-packet
+    loops over one array (RP102), stage budget (RP110), and — specific
+    to in-switch stores — no control-plane register ops on the packet
+    path (RP150).
+    """
+    from repro.apps.counter import SyncCounterApp
+    from repro.deploy import deploy_netchain
+    from repro.net.simulator import Simulator
+
+    sim = Simulator(seed=0)
+    dep = deploy_netchain(sim, SyncCounterApp)
+    tor = dep.netchain.switch
+    report = report if report is not None else Report()
+    verify_asic(tor, report=report, suppressions=suppressions, root=root)
+    report.analyzed["store:netchain"] = (
+        f"NetChainStoreBlock on {tor.name} "
+        f"({dep.netchain.backend.describe()})"
     )
     return report

@@ -126,6 +126,24 @@ class FailureSchedule:
         self.fail_store_at(time_us, index)
         self.recover_store_at(time_us + down_for_us, index)
 
+    def crash_store_at(self, time_us: float, index: int) -> None:
+        """Hard-crash a store node: the process dies AND its in-memory
+        record set is lost. What comes back on restart is whatever the
+        node's storage backend can rebuild — everything for a WAL
+        backend, nothing for a volatile one."""
+        store = self.deployment.stores[index]
+        self._inject(time_us, "crash_store", store.name, store.crash,
+                     detail=f"backend={store.backend.name}")
+
+    def recover_store_from_disk_at(self, time_us: float, index: int) -> None:
+        """Restart a crashed store node, rebuilding records through
+        ``backend.recover()`` (snapshot + WAL replay for durable
+        backends) before it serves requests again."""
+        store = self.deployment.stores[index]
+        self._inject(time_us, "restart_store", store.name,
+                     lambda: store.restart(),
+                     detail=f"backend={store.backend.name}", clear=True)
+
     def fail_link_at(self, time_us: float, link_index: int) -> None:
         topo = self.deployment.bed.topology
         link = self.link(link_index)

@@ -1,0 +1,260 @@
+"""Backend conformance suite: every storage backend honors the contract.
+
+The :class:`~repro.statestore.backend.StateStoreBackend` contract
+(ordered records, get-or-create semantics, idempotent commits, honest
+``wipe``/``recover`` durability) is what the transport layer builds its
+write-ahead discipline on. The parametrized tests below hold all three
+shipped backends to it; backend-specific behavior (WAL torn tails and
+compaction, NetChain register mirroring) follows.
+"""
+
+import os
+
+import pytest
+
+from repro.net.packet import FlowKey
+from repro.net.simulator import Simulator
+from repro.statestore.backend import InMemoryBackend
+from repro.statestore.netchain import NETCHAIN_VALUE_SLOTS, NetChainBackend
+from repro.statestore.wal import WALBackend
+
+
+class _Node:
+    """Minimal stand-in for the owning StateStoreNode (bind target)."""
+
+    def __init__(self, sim, name="n0"):
+        self.sim = sim
+        self.name = name
+
+
+def _key(i):
+    return FlowKey(0x0A000000 + i, 0x0B000000 + i, 17, 1000 + i, 2000 + i)
+
+
+def _populate(backend, n=3):
+    """Write ``n`` records the way the transport layer does."""
+    for i in range(n):
+        key = _key(i)
+        rec = backend.record(key)
+        rec.vals = [i, i * 7]
+        rec.initialized = True
+        rec.last_seq = i + 1
+        rec.owner_ip = 0x0A000001
+        rec.lease_expiry = 5_000.0 + i
+        rec.snapshot_vals[3] = 100 + i
+        rec.snapshot_seqs[3] = i
+        backend.commit(key, rec)
+
+
+@pytest.fixture(params=["memory", "wal", "netchain"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        b = InMemoryBackend()
+    elif request.param == "wal":
+        b = WALBackend(str(tmp_path / "store"), snapshot_every=8)
+    else:
+        b = NetChainBackend(size=32)
+    b.bind(_Node(Simulator()))
+    yield b
+    b.close()
+
+
+# -- the contract every backend must satisfy ----------------------------------
+
+
+def test_records_iterate_in_insertion_order(backend):
+    _populate(backend, n=5)
+    assert list(backend.records) == [_key(i) for i in range(5)]
+
+
+def test_get_and_record_semantics(backend):
+    assert backend.get(_key(0)) is None
+    rec = backend.record(_key(0))
+    assert backend.get(_key(0)) is rec          # get never creates
+    assert backend.record(_key(0)) is rec       # record is get-or-create
+    assert not rec.initialized and rec.vals == []
+
+
+def test_commit_is_idempotent(backend):
+    _populate(backend, n=1)
+    rec = backend.get(_key(0))
+    backend.commit(_key(0), rec)  # chain retransmissions re-commit
+    backend.commit(_key(0), rec)
+    assert len(backend.records) == 1
+    if backend.durable:
+        backend.wipe()
+        assert backend.recover() == 1
+        assert backend.get(_key(0)).vals == [0, 0]
+
+
+def test_wipe_drops_all_volatile_state(backend):
+    _populate(backend)
+    backend.wipe()
+    assert len(backend.records) == 0
+    assert backend.get(_key(0)) is None
+
+
+def test_recover_is_honest_about_durability(backend):
+    """A backend either restores acknowledged state or reports zero."""
+    _populate(backend)
+    backend.wipe()
+    restored = backend.recover()
+    if backend.durable:
+        assert restored == 3
+        for i in range(3):
+            rec = backend.get(_key(i))
+            assert rec.vals == [i, i * 7]
+            assert rec.initialized
+            assert rec.last_seq == i + 1
+            assert rec.owner_ip == 0x0A000001
+            assert rec.lease_expiry == 5_000.0 + i
+            assert rec.snapshot_vals == {3: 100 + i}
+            assert rec.snapshot_seqs == {3: i}
+    else:
+        assert restored == 0
+        assert len(backend.records) == 0
+
+
+def test_recovered_pending_queue_is_empty(backend):
+    """Buffered requests are transport state: never persisted (§4.2)."""
+    _populate(backend, n=1)
+    backend.get(_key(0)).pending.append(("msg", 1, 0))
+    backend.commit(_key(0), backend.get(_key(0)))
+    backend.wipe()
+    backend.recover()
+    if backend.durable:
+        assert len(backend.get(_key(0)).pending) == 0
+
+
+def test_describe_is_a_string(backend):
+    assert isinstance(backend.describe(), str)
+    assert backend.name in ("memory", "wal", "netchain")
+
+
+# -- WAL specifics: torn tails, compaction, last-write-wins -------------------
+
+
+@pytest.fixture
+def wal(tmp_path):
+    b = WALBackend(str(tmp_path / "store"), snapshot_every=4)
+    b.bind(_Node(Simulator()))
+    yield b
+    b.close()
+
+
+def test_wal_recovery_replays_latest_version(wal):
+    key = _key(0)
+    rec = wal.record(key)
+    for seq in range(1, 4):
+        rec.vals = [seq * 10]
+        rec.last_seq = seq
+        wal.commit(key, rec)
+    wal.wipe()
+    assert wal.recover() == 1
+    assert wal.get(key).vals == [30]
+    assert wal.get(key).last_seq == 3
+
+
+def test_wal_tolerates_torn_tail(wal):
+    _populate(wal, n=2)
+    wal.close()
+    with open(wal.log_path, "ab") as fh:
+        fh.write(b"\x00\x00\x01\xff" + b"torn")  # frame cut mid-write
+    wal.wipe()
+    assert wal.recover() == 2
+    assert wal.get(_key(1)).vals == [1, 7]
+
+
+def test_wal_stops_at_corrupt_frame_keeping_earlier_records(wal):
+    _populate(wal, n=2)
+    wal.close()
+    with open(wal.log_path, "ab") as fh:
+        garbage = b"\xde\xad\xbe\xef" * 12
+        fh.write(len(garbage).to_bytes(4, "big") + garbage)
+    wal.wipe()
+    assert wal.recover() == 2  # the corrupt tail frame is discarded
+
+
+def test_wal_compaction_snapshots_and_truncates_log(wal):
+    # snapshot_every=4: ten commits force at least two compactions.
+    key = _key(0)
+    rec = wal.record(key)
+    for seq in range(1, 11):
+        rec.vals = [seq]
+        rec.last_seq = seq
+        wal.commit(key, rec)
+    assert os.path.exists(wal.snapshot_path)
+    assert os.path.getsize(wal.log_path) < os.path.getsize(wal.snapshot_path) * 4
+    wal.wipe()
+    assert wal.recover() == 1
+    assert wal.get(key).vals == [10]
+
+
+def test_wal_recover_from_snapshot_plus_log(wal):
+    # 5 commits with snapshot_every=4: a snapshot and a one-frame log.
+    for i in range(5):
+        key = _key(i)
+        rec = wal.record(key)
+        rec.vals = [i]
+        rec.last_seq = 1
+        wal.commit(key, rec)
+    wal.wipe()
+    assert wal.recover() == 5
+    assert [wal.get(_key(i)).vals for i in range(5)] == [[i] for i in range(5)]
+
+
+# -- NetChain specifics: register mirroring, capacity -------------------------
+
+
+@pytest.fixture
+def netchain():
+    b = NetChainBackend(size=4)
+    b.bind(_Node(Simulator()))
+    return b
+
+
+def test_netchain_commit_mirrors_into_registers(netchain):
+    key = _key(0)
+    rec = netchain.record(key)
+    rec.vals = [11, 22]
+    rec.initialized = True
+    rec.last_seq = 9
+    rec.owner_ip = 0x0A0B0C0D
+    rec.lease_expiry = 777.0
+    netchain.commit(key, rec)
+    idx = netchain.slot(key)
+    assert netchain.reg_vals[0].cp_read(idx) == 11
+    assert netchain.reg_vals[1].cp_read(idx) == 22
+    assert netchain.reg_nvals.cp_read(idx) == 2
+    assert netchain.reg_seq.cp_read(idx) == 9
+    assert netchain.reg_init.cp_read(idx) == 1
+    assert netchain.reg_lease.cp_read(idx) == (0x0A0B0C0D, 777)
+
+
+def test_netchain_wipe_clears_registers(netchain):
+    key = _key(0)
+    rec = netchain.record(key)
+    rec.vals = [5]
+    rec.last_seq = 2
+    netchain.commit(key, rec)
+    idx = netchain.slot(key)
+    netchain.wipe()
+    assert netchain.reg_vals[0].cp_read(idx) == 0
+    assert netchain.reg_seq.cp_read(idx) == 0
+    assert netchain.reg_lease.cp_read(idx) == (0, 0)
+    assert netchain.recover() == 0  # SRAM is volatile: nothing to replay
+
+
+def test_netchain_rejects_oversized_records(netchain):
+    key = _key(0)
+    rec = netchain.record(key)
+    rec.vals = [1] * (NETCHAIN_VALUE_SLOTS + 1)
+    with pytest.raises(ValueError):
+        netchain.commit(key, rec)
+
+
+def test_netchain_store_full(netchain):
+    for i in range(4):
+        netchain.slot(_key(i))
+    with pytest.raises(RuntimeError):
+        netchain.slot(_key(99))

@@ -62,3 +62,57 @@ def test_allocator_reaches_stores(sim):
 def test_oversized_chain_rejected(sim):
     with pytest.raises(ValueError):
         deploy(sim, SyncCounterApp, num_shards=3, chain_length=2)
+
+
+# -- deploy_netchain: the in-switch store deployment --------------------------
+
+
+def test_deploy_netchain_wiring(sim):
+    from repro.deploy import deploy_netchain
+    from repro.statestore.netchain import (
+        NETCHAIN_UDP_PORT,
+        NetChainBackend,
+        NetChainStoreBlock,
+    )
+    from repro.switch.asic import SwitchASIC
+
+    dep = deploy_netchain(sim, SyncCounterApp, store_size=64)
+    assert isinstance(dep.netchain, NetChainStoreBlock)
+    assert isinstance(dep.netchain.backend, NetChainBackend)
+    assert dep.netchain.backend.size == 64
+    # tor1 became the store switch; the other ToRs stayed plain routers.
+    tor = dep.bed.tors[0]
+    assert isinstance(tor, SwitchASIC)
+    assert dep.netchain.switch is tor
+    assert not isinstance(dep.bed.tors[1], SwitchASIC)
+    # The shard map points every engine at the ToR's in-switch port.
+    addr = dep.shard_map.addresses()[0]
+    assert addr.ip == tor.ip and addr.udp_port == NETCHAIN_UDP_PORT
+    # No server store participates.
+    assert dep.stores == []
+
+
+def test_deploy_netchain_end_to_end(sim):
+    """Counter traffic commits through the in-switch store: every packet's
+    synchronous write is acked by tor1's pipeline, and the record mirror
+    tracks the register state."""
+    from repro.deploy import deploy_netchain
+    from repro.net.packet import Packet
+
+    dep = deploy_netchain(sim, SyncCounterApp)
+    e1, s11 = dep.bed.externals[0], dep.bed.servers[0]
+    for i in range(8):
+        pkt = Packet.udp(e1.ip, s11.ip, 5555, 7777)
+        pkt.ip.identification = i
+        sim.schedule(i * 200.0, e1.send, pkt)
+    sim.run_until_idle()
+
+    flow = Packet.udp(e1.ip, s11.ip, 5555, 7777).flow_key()
+    rec = dep.netchain.backend.get(flow)
+    assert rec is not None and rec.initialized
+    assert rec.last_seq == 8
+    assert rec.vals == [8]
+    # The registers agree with the control-plane mirror.
+    idx = dep.netchain.backend.slot(flow)
+    assert dep.netchain.backend.reg_seq.cp_read(idx) == 8
+    assert dep.netchain.backend.reg_vals[0].cp_read(idx) == 8

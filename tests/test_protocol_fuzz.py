@@ -117,3 +117,131 @@ def test_protocol_invariants_under_adversarial_schedules(params):
         if flow in st_.records and st_.records[flow].initialized
     }
     assert len(versions) <= 1, f"replicas diverged: {versions}"
+
+
+# -- statestore codec: round trips and malformed input ------------------------
+
+import pytest
+
+from repro.net.packet import FlowKey
+from repro.core.protocol import MessageType, RedPlaneMessage
+from repro.statestore.backend import FlowRecord
+from repro.statestore.codec import (
+    pack_chain_ack,
+    pack_chain_update,
+    pack_record,
+    unpack_chain_ack,
+    unpack_chain_update,
+    unpack_record,
+)
+
+flow_keys = st.builds(
+    FlowKey,
+    st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1),
+    st.sampled_from([6, 17]),
+    st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1),
+)
+
+protocol_messages = st.builds(
+    RedPlaneMessage,
+    seq=st.integers(0, 2**32 - 1),
+    msg_type=st.sampled_from(list(MessageType)),
+    flow_key=flow_keys,
+    vals=st.lists(st.integers(0, 2**32 - 1), max_size=4),
+    piggyback=st.one_of(st.none(), st.binary(max_size=64)),
+    aux=st.integers(0, 2**16 - 1),
+)
+
+
+@st.composite
+def flow_records(draw):
+    rec = FlowRecord(
+        vals=draw(st.lists(st.integers(0, 2**32 - 1), max_size=4)),
+        initialized=draw(st.booleans()),
+        last_seq=draw(st.integers(0, 2**32 - 1)),
+        owner_ip=draw(st.one_of(st.none(), st.integers(1, 2**32 - 1))),
+        lease_expiry=draw(st.floats(0, 1e12, allow_nan=False)),
+    )
+    for slot in draw(st.lists(st.integers(0, 2**16 - 1), max_size=3,
+                              unique=True)):
+        rec.snapshot_vals[slot] = draw(st.integers(0, 2**32 - 1))
+        rec.snapshot_seqs[slot] = draw(st.integers(0, 2**32 - 1))
+    return rec
+
+
+def _same_message(a, b):
+    return (a.seq == b.seq and a.msg_type is b.msg_type
+            and a.flow_key == b.flow_key and a.vals == b.vals
+            and a.piggyback == b.piggyback and a.aux == b.aux)
+
+
+@settings(max_examples=25, deadline=None)
+@given(flow_keys, flow_records(), protocol_messages,
+       st.integers(1, 2**32 - 1))
+def test_chain_update_roundtrip(key, rec, reply, requester_ip):
+    data = pack_chain_update(key, rec, reply, requester_ip)
+    out_key, state, out_reply, out_ip = unpack_chain_update(data)
+    vals, initialized, last_seq, owner_ip, expiry = state
+    assert out_key == key and out_ip == requester_ip
+    assert vals == rec.vals
+    assert initialized == rec.initialized
+    assert last_seq == rec.last_seq
+    assert owner_ip == rec.owner_ip
+    assert expiry == rec.lease_expiry
+    assert _same_message(out_reply, reply)
+
+
+@settings(max_examples=25, deadline=None)
+@given(flow_keys, st.integers(0, 2**32 - 1),
+       st.floats(0, 1e12, allow_nan=False))
+def test_chain_ack_roundtrip(key, seq, expiry):
+    assert unpack_chain_ack(pack_chain_ack(key, seq, expiry)) == \
+        (key, seq, expiry)
+
+
+@settings(max_examples=25, deadline=None)
+@given(flow_keys, flow_records())
+def test_record_frame_roundtrip(key, rec):
+    out_key, out = unpack_record(pack_record(key, rec))
+    assert out_key == key
+    assert out.vals == rec.vals
+    assert out.initialized == rec.initialized
+    assert out.last_seq == rec.last_seq
+    assert out.owner_ip == rec.owner_ip
+    assert out.lease_expiry == rec.lease_expiry
+    assert out.snapshot_vals == rec.snapshot_vals
+    assert out.snapshot_seqs == {
+        slot: rec.snapshot_seqs.get(slot, 0) for slot in rec.snapshot_vals
+    }
+    assert len(out.pending) == 0  # volatile state never travels
+
+
+def test_truncated_codec_input_raises_valueerror_not_struct_error():
+    """Every strict prefix of a valid frame is a recoverable ValueError."""
+    key = FlowKey(1, 2, 17, 10, 20)
+    rec = FlowRecord(vals=[7, 8], initialized=True, last_seq=3,
+                     owner_ip=9, lease_expiry=100.0)
+    rec.snapshot_vals[2] = 5
+    rec.snapshot_seqs[2] = 1
+    reply = RedPlaneMessage(3, MessageType.REPL_WRITE_ACK, key,
+                            piggyback=b"held")
+    frames = [
+        (unpack_chain_update, pack_chain_update(key, rec, reply, 42)),
+        (unpack_chain_ack, pack_chain_ack(key, 3, 100.0)),
+        (unpack_record, pack_record(key, rec)),
+    ]
+    for unpack, data in frames:
+        for cut in range(len(data)):
+            with pytest.raises(ValueError):
+                unpack(data[:cut])
+
+
+def test_chain_update_with_lying_reply_length_is_malformed():
+    key = FlowKey(1, 2, 17, 10, 20)
+    rec = FlowRecord(vals=[1], initialized=True, last_seq=1,
+                     owner_ip=None, lease_expiry=0.0)
+    reply = RedPlaneMessage(1, MessageType.REPL_WRITE_ACK, key)
+    data = bytearray(pack_chain_update(key, rec, reply, 7))
+    data[31:33] = (9999).to_bytes(2, "big")  # the head's reply_len field
+    with pytest.raises(ValueError):
+        unpack_chain_update(bytes(data))

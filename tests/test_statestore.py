@@ -271,3 +271,85 @@ def test_allocator_initializes_fresh_flows():
 def test_empty_chain_rejected():
     with pytest.raises(ValueError):
         build_chain([])
+
+
+def test_single_node_chain_serves_and_survives_reconfiguration():
+    """A chain of one is legal: the head is also the tail (no propagation,
+    no inflight ledger), and reconfiguring it is a no-op."""
+    sim = Simulator()
+    _hub, (sw,), (store,) = micro_net(sim)
+    build_chain([store])
+    assert store.successor_ip is None
+    sw.request(store.ip, RedPlaneMessage(1, MessageType.REPL_WRITE_REQ, KEY,
+                                         vals=[11]))
+    sim.run_until_idle()
+    assert len(sw.acks) == 1
+    assert not store._chain_inflight
+    alive = reconfigure_chain([store])
+    assert alive == [store]
+    assert store.chain_repairs == 0
+    sw.request(store.ip, RedPlaneMessage(2, MessageType.REPL_WRITE_REQ, KEY,
+                                         vals=[12]))
+    sim.run_until_idle()
+    assert len(sw.acks) == 2
+    assert store.records[KEY].vals == [12]
+
+
+def test_repeated_reconfiguration_down_to_one_node():
+    """The chain shrinks fault by fault; writes keep committing and the
+    survivors' ledgers stay clean after every splice."""
+    sim = Simulator()
+    _hub, (sw,), stores = micro_net(sim, num_stores=3)
+    build_chain(stores)
+
+    stores[1].fail()
+    alive = reconfigure_chain(stores)
+    assert [n.name for n in alive] == ["fst0", "fst2"]
+    sw.request(stores[0].ip, RedPlaneMessage(
+        1, MessageType.REPL_WRITE_REQ, KEY, vals=[1]))
+    sim.run_until_idle()
+    assert len(sw.acks) == 1
+    assert stores[2].records[KEY].vals == [1]
+
+    stores[2].fail()
+    alive = reconfigure_chain(stores)
+    assert [n.name for n in alive] == ["fst0"]
+    assert stores[0].successor_ip is None
+    sw.request(stores[0].ip, RedPlaneMessage(
+        2, MessageType.REPL_WRITE_REQ, KEY, vals=[2]))
+    sim.run_until_idle()
+    assert len(sw.acks) == 2          # the lone survivor replies itself
+    assert stores[0].records[KEY].vals == [2]
+    assert stores[0].records[KEY].last_seq == 2
+    assert not stores[0]._chain_inflight
+
+
+def test_reconfiguration_with_chain_acks_still_in_flight():
+    """A splice can race the tail's acks: the tail already replied to the
+    requester, but the hop-by-hop chain acks have not reached the head
+    yet. Repropagating the head's in-flight update must be harmless —
+    replicas apply it idempotently and nothing regresses."""
+    sim = Simulator()
+    _hub, (sw,), stores = micro_net(sim, num_stores=3)
+    build_chain(stores)
+    sw.request(stores[0].ip, RedPlaneMessage(
+        1, MessageType.REPL_WRITE_REQ, KEY, vals=[33]))
+    # Step until the tail's reply lands; its chain ack (one extra hub
+    # traversal away from the head) is still in flight at that instant.
+    while not sw.acks:
+        sim.run(until=sim.now + 1.0)
+    assert stores[0]._chain_inflight, "ack must still be travelling"
+
+    alive = reconfigure_chain(stores)  # nobody failed: pure repropagation
+    assert [n.name for n in alive] == ["fst0", "fst1", "fst2"]
+    assert stores[0].chain_repairs == 1
+    sim.run_until_idle()
+    # The re-propagated update was applied idempotently everywhere and
+    # every ledger (old acks plus repair acks) drained.
+    for node in stores:
+        assert node.records[KEY].vals == [33]
+        assert node.records[KEY].last_seq == 1
+        assert not node._chain_inflight
+    # The requester may see the reply again (at-least-once; the switch
+    # dedups via sequence numbers) but never with a regressed sequence.
+    assert all(ack.seq == 1 for ack in sw.acks)

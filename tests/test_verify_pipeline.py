@@ -419,3 +419,74 @@ def test_lazy_snapshot_apps_declare_metadata_sram(name):
     structures = spec["structures"](app)
     for array in structures.values():
         assert declared >= array.sram_bits()
+
+
+# -- RP150: store-backend registers on the packet path ------------------------
+
+
+class CpServingStoreBlock(ControlBlock):
+    """A bad in-switch store: serves packets via control-plane register
+    ops, dodging the pipeline's stateful-ALU accounting."""
+
+    name = "cp-serving-store"
+
+    def __init__(self):
+        from repro.statestore.netchain import NetChainBackend
+
+        self.backend = NetChainBackend(label="bad", size=8)
+
+    def process(self, ctx, switch):
+        if ctx.pkt.l4 is None:
+            return True
+        seq = self.backend.reg_seq.cp_read(0)
+        self.backend.reg_seq.cp_write(0, seq + 1)
+        return True
+
+    def resource_usage(self):
+        return {"sram_bits": self.backend.sram_bits()}
+
+
+def test_rp150_store_register_cp_ops_on_packet_path():
+    switch = fresh_switch()
+    block = CpServingStoreBlock()
+    switch.add_block(block)
+    report = run_pass(switch)
+    rp150 = [d for d in report.diagnostics if d.rule == "RP150"]
+    assert len(rp150) == 2  # one per cp_read / cp_write site
+    assert all(d.severity is Severity.ERROR for d in rp150)
+    assert rp150[0].line == line_of(CpServingStoreBlock, "cp_read(0)")
+    assert rp150[1].line == line_of(CpServingStoreBlock, "cp_write(0, seq")
+
+
+def test_rp150_not_raised_for_non_store_registers():
+    """Engine-style cp ops on registers a backend does not own (state
+    migration, RMW modeling shortcuts) stay legal."""
+
+    class CpMigrationBlock(ControlBlock):
+        name = "cp-migration"
+
+        def __init__(self):
+            self.reg = RegisterArray("mig.reg", 8, 32)
+
+        def process(self, ctx, switch):
+            self.reg.cp_write(0, 7)  # not backend-owned: no RP150
+            return True
+
+        def resource_usage(self):
+            return {"sram_bits": self.reg.sram_bits()}
+
+    switch = fresh_switch()
+    switch.add_block(CpMigrationBlock())
+    report = run_pass(switch)
+    assert not [d for d in report.diagnostics if d.rule == "RP150"]
+
+
+def test_netchain_store_block_verifies_clean():
+    """The shipped in-switch store obeys RP101/RP110/RP150: every
+    per-packet register touch goes through pipelined access()."""
+    from repro.verify.pipeline_pass import verify_netchain
+
+    report = verify_netchain()
+    assert "store:netchain" in report.analyzed
+    assert report.active(Severity.ERROR) == []
+    assert report.by_rule("RP150") == []
