@@ -4,17 +4,34 @@ always-on invariant auditing and linearizability checking.
 Gray failures (corruption, duplication, jitter, asymmetric partitions,
 degraded bandwidth), store crashes with mid-propagation chain repair,
 and lease-expiry races — composed into named campaigns whose verdict
-reports are byte-identical across same-seed runs.
+reports are byte-identical across same-seed runs, plus a seeded
+fault-schedule fuzzer (:mod:`repro.chaos.fuzz`) that generates
+randomized schedules, shrinks every violation to a minimal reproducer
+(:mod:`repro.chaos.shrink`), and pools a per-fault-class resilience
+scorecard (:mod:`repro.chaos.scorecard`).
 
-Run one from the CLI: ``python -m repro.tools chaos <campaign>``.
+Run from the CLI: ``python -m repro.tools chaos <campaign>`` or
+``python -m repro.tools fuzz run --seed 1 --budget 20``.
 """
 
 from repro.chaos.campaigns import CAMPAIGNS, Campaign
+from repro.chaos.fuzz import (
+    ScheduleSpec,
+    generate_spec,
+    mutation_self_check,
+    replay_regression,
+    run_fuzz,
+    run_spec,
+)
 from repro.chaos.runner import (
+    RunResult,
     render_report,
     run_campaign,
+    run_campaign_result,
     verdict_json,
 )
+from repro.chaos.scorecard import Scorecard
+from repro.chaos.shrink import ShrinkResult, shrink_spec
 from repro.chaos.workload import CounterWorkload, EchoCounterApp
 
 __all__ = [
@@ -22,7 +39,18 @@ __all__ = [
     "Campaign",
     "CounterWorkload",
     "EchoCounterApp",
+    "RunResult",
+    "Scorecard",
+    "ScheduleSpec",
+    "ShrinkResult",
+    "generate_spec",
+    "mutation_self_check",
     "render_report",
+    "replay_regression",
     "run_campaign",
+    "run_campaign_result",
+    "run_fuzz",
+    "run_spec",
+    "shrink_spec",
     "verdict_json",
 ]

@@ -59,6 +59,11 @@ class Campaign:
     #: directory per node and wires a
     #: :class:`~repro.statestore.wal.WALBackend` into it).
     store_backend: str = "memory"
+    #: Deployment shape (``num_shards * chain_length <= 3`` store nodes).
+    #: The hand-written campaigns keep the default single 3-chain; the
+    #: fuzzer varies the shape per generated schedule.
+    num_shards: int = 1
+    chain_length: int = 3
 
 
 def _single_failover(s: FailureSchedule) -> None:
@@ -103,6 +108,22 @@ def _duplicate_storm(s: FailureSchedule) -> None:
 def _store_crash_recover(s: FailureSchedule) -> None:
     s.crash_store_at(250_000.0, 0)
     s.recover_store_from_disk_at(400_000.0, 0)
+
+
+def _corruption_storm(s: FailureSchedule) -> None:
+    # Sustained, not swept: one fabric link corrupts heavily for nearly
+    # the whole traffic window while load keeps flowing (ROADMAP item 3's
+    # LinkGuardian direction — the link never dies, so nothing reroutes).
+    s.gray_link(start_us=50_000.0, duration_us=850_000.0,
+                link=s.link_between("agg1", "tor1"), corrupt_rate=0.15)
+
+
+def _corruption_storm_store(s: FailureSchedule) -> None:
+    # Same storm aimed at the protocol-only store access link: every
+    # corrupted frame is a lost write, ack, or chain update, so the
+    # switch's retransmission path carries the entire load.
+    s.gray_link(start_us=50_000.0, duration_us=700_000.0,
+                link=s.link_between("tor1", "st1"), corrupt_rate=0.2)
 
 
 def _corruption_sweep(s: FailureSchedule) -> None:
@@ -177,6 +198,23 @@ CAMPAIGNS: Dict[str, Campaign] = {
                         "rebuild (sequence monotonicity holds across it).",
             duration_us=1_500_000.0, packets=40, gap_us=10_000.0,
             build=_store_crash_recover, store_backend="wal",
+        ),
+        Campaign(
+            name="corruption_storm",
+            description="Sustained 15% corruption on agg1-tor1 for 850ms "
+                        "under continuous load; the link never dies, so "
+                        "retransmission alone must carry the storm.",
+            duration_us=1_500_000.0, packets=60, gap_us=8_000.0,
+            build=_corruption_storm,
+        ),
+        Campaign(
+            name="corruption_storm_store",
+            description="Sustained 20% corruption on the tor1-st1 store "
+                        "access link: every corrupted frame is protocol "
+                        "traffic, so switch-side retransmission and §5.2 "
+                        "sequencing absorb the storm.",
+            duration_us=1_500_000.0, packets=50, gap_us=8_000.0,
+            build=_corruption_storm_store,
         ),
         Campaign(
             name="corruption_sweep",

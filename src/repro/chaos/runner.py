@@ -21,6 +21,7 @@ import json
 import os
 import shutil
 import tempfile
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.chaos.campaigns import CAMPAIGNS, Campaign
@@ -46,6 +47,23 @@ _CLEAR_KINDS = frozenset(
 )
 
 
+@dataclass
+class RunResult:
+    """One campaign run's verdict report plus the live objects behind it.
+
+    ``run_campaign`` returns just the report (the stable public shape);
+    the fuzzer and scorecard need the underlying schedule, monitor, and
+    metric registry to classify faults and pool per-class telemetry, so
+    ``run_campaign_result`` hands back everything.
+    """
+
+    report: Dict[str, object]
+    workload: CounterWorkload
+    schedule: FailureSchedule
+    monitor: InvariantMonitor
+    metrics: object  # the run's MetricRegistry
+
+
 def run_campaign(
     name: str, seed: int = 42, trace_path: Optional[str] = None,
     fastpath: bool = False,
@@ -65,7 +83,19 @@ def run_campaign(
     except KeyError:
         known = ", ".join(sorted(CAMPAIGNS))
         raise KeyError(f"unknown campaign {name!r}; known: {known}") from None
+    return run_campaign_result(campaign, seed=seed, trace_path=trace_path,
+                               fastpath=fastpath).report
 
+
+def run_campaign_result(
+    campaign: Campaign, seed: int = 42, trace_path: Optional[str] = None,
+    fastpath: bool = False,
+) -> RunResult:
+    """Run a :class:`Campaign` object (named or generated) and return the
+    full :class:`RunResult`. The schedule is validated after it is built:
+    a fault at/after ``duration_us`` or a recover-before-fail ordering
+    raises :class:`repro.workloads.failures.ScheduleError` before the
+    simulation starts."""
     sim = Simulator(seed=seed)
     if trace_path is not None:
         sim.tracer.open_sink(trace_path)
@@ -98,8 +128,10 @@ def run_campaign(
 
 
 def _run_deployed(campaign, seed, sim, trace_path, fastpath,
-                  backend_factory, config_kwargs) -> Dict[str, object]:
+                  backend_factory, config_kwargs) -> RunResult:
     dep = deploy(sim, EchoCounterApp, config=RedPlaneConfig(**config_kwargs),
+                 num_shards=campaign.num_shards,
+                 chain_length=campaign.chain_length,
                  backend_factory=backend_factory)
     if fastpath:
         from repro.fastpath import FastPath
@@ -125,9 +157,11 @@ def _run_deployed(campaign, seed, sim, trace_path, fastpath,
     )
     workload.start()
 
-    schedule = FailureSchedule(dep, detect_delay_us=campaign.detect_delay_us)
+    schedule = FailureSchedule(dep, detect_delay_us=campaign.detect_delay_us,
+                               duration_us=campaign.duration_us)
     if campaign.build is not None:
         campaign.build(schedule)
+    schedule.validate()
 
     sim.run(until=campaign.duration_us)
     monitor.stop()
@@ -137,8 +171,10 @@ def _run_deployed(campaign, seed, sim, trace_path, fastpath,
     if trace_path is not None:
         sim.tracer.close_sink()
 
-    return _build_report(campaign, seed, dep, workload, schedule, monitor,
-                         coordinator)
+    report = _build_report(campaign, seed, dep, workload, schedule, monitor,
+                           coordinator)
+    return RunResult(report=report, workload=workload, schedule=schedule,
+                     monitor=monitor, metrics=sim.metrics)
 
 
 def _recovery_latencies(schedule: FailureSchedule,
@@ -179,7 +215,16 @@ def _build_report(
 ) -> Dict[str, object]:
     metrics = dep.sim.metrics
     values = workload.delivered_values()
-    linearizable = check_counter_history(workload.history())
+    try:
+        linearizable = check_counter_history(workload.history())
+        lin_exhausted = False
+    except RuntimeError:
+        # The Definition-3 search blew its node budget: the history is
+        # too tangled to decide. Conservatively not linearizable, and
+        # flagged so consumers (the fuzzer's witnesses) can tell
+        # "undecided" apart from "proven broken".
+        linearizable = False
+        lin_exhausted = True
     invariants_held = monitor.ok()
     progressed = workload.delivered > 0
     verdict = "PASS" if (invariants_held and linearizable and progressed) \
@@ -232,6 +277,7 @@ def _build_report(
             ],
         },
         "linearizable": linearizable,
+        "linearizability_search_exhausted": lin_exhausted,
         "recovery_latency_us": _recovery_latencies(
             schedule, workload.delivery_times()),
         "counters": counters,

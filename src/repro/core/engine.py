@@ -33,6 +33,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple, cast
 
+from repro.mutation import mutation_active
 from repro.net import constants
 from repro.net.packet import FlowKey, Packet, UDPHeader
 from repro.switch.asic import SwitchASIC
@@ -63,6 +64,12 @@ _PROTOCOL_PORTS = {STORE_UDP_PORT, SWITCH_UDP_PORT, CHAIN_UDP_PORT, NETCHAIN_UDP
 #: aux value marking a read-buffer request whose packet has not been
 #: processed yet (it arrived while the flow's lease was still pending).
 _AUX_UNPROCESSED = 1
+
+#: Tag prefixing a held packet inside a lease-request piggyback: the tag
+#: plus an 8-byte hold nonce let the switch re-inject each *hold* exactly
+#: once even when the ack carrying it is duplicated in the network.
+_HOLD_TAG = b"RPHOLD\x01"
+_HOLD_HEADER_LEN = len(_HOLD_TAG) + 8
 
 
 class RedPlaneMode(enum.Enum):
@@ -201,14 +208,31 @@ class RedPlaneEngine(ControlBlock):
                 "retransmissions",
                 "acks_received",
                 "piggybacks_released",
+                "piggyback_dups_dropped",
                 "stale_acks_ignored",
             )
         }
+        # Hold-nonces of every held packet already re-injected into the
+        # pipeline. A lease-new ack can arrive more than once for the same
+        # request (network duplication, or acks to both the original and a
+        # resend); re-processing the held packet would double-apply the
+        # application update — a linearizability violation — whereas
+        # suppressing a genuine second hold is at most a lost input,
+        # which §4.2 permits. The nonce is minted per *hold* so two
+        # distinct held packets with identical wire bytes (apps whose
+        # requests carry no client-side id) are never conflated.
+        self._reinjected: set = set()
         self.stats = StatGroupView(self._c)
         #: Replication round trips as the switch observes them: time from a
         #: request's (re)send to the release of its mirrored copy.
         self._h_ack_rtt = metrics.histogram(
             "redplane.ack_rtt_us", switch=switch.name
+        )
+        #: Resend copies each acknowledged request needed before release —
+        #: 0 on a healthy path; the distribution's tail is the resend-storm
+        #: signal the chaos scorecard ranks fault classes by.
+        self._h_resends = metrics.histogram(
+            "redplane.resends_per_request", switch=switch.name
         )
         self._c_reclaimed = metrics.counter(
             "redplane.flows_reclaimed", switch=switch.name
@@ -289,7 +313,7 @@ class RedPlaneEngine(ControlBlock):
             seq=0,
             msg_type=MessageType.LEASE_NEW_REQ,
             flow_key=key,
-            piggyback=pack_packets([ctx.pkt.to_bytes()]),
+            piggyback=pack_packets([self._wrap_hold(ctx.pkt.to_bytes())]),
         )
         req_uid = self._send_request(ctx, msg,
                                      parent_uid=ctx.pkt.meta.get("uid"))
@@ -485,6 +509,7 @@ class RedPlaneEngine(ControlBlock):
         cause = meta.get("parent_uid")
         if cause is not None:
             fields["cause"] = cause
+        self._h_resends.observe(float(rtx.resends))
         self.tracer.emit(tt.RP_ACK, **fields)
 
     def _handle_lease_new_ack(
@@ -507,18 +532,26 @@ class RedPlaneEngine(ControlBlock):
                 migrated=bool(msg.vals),
             )
             # Install the returned state (migration) or initialize fresh
-            # state; never clobber state we already own (a late duplicate
-            # ack must not roll back newer local updates).
-            if msg.vals:
-                for reg, val in zip(self.state_regs, msg.vals):
-                    reg.cp_write(idx, val)
-            else:
-                init = self.app.initial_state(msg.flow_key)
-                vals = init if init is not None else self.app.state_spec.default_vals()
-                for reg, val in zip(self.state_regs, vals):
-                    reg.cp_write(idx, val)
-            self.reg_cur_seq.cp_write(idx, msg.seq)
-            self.reg_last_acked.cp_write(idx, msg.seq)
+            # state; never clobber state we already own. The grant's
+            # snapshot was taken at the store before any of our still
+            # in-flight updates applied, so when the granted seq is behind
+            # our local seq the local registers are strictly newer — the
+            # store converges to them as the in-flight writes land, while
+            # installing the snapshot would regress both the state and the
+            # sequence counter (later writes would then be discarded by
+            # the store's Fig 6b guard).
+            local_seq = self.reg_cur_seq.cp_read(idx)
+            if msg.seq >= local_seq or mutation_active("skip_lease_install_guard"):
+                if msg.vals:
+                    for reg, val in zip(self.state_regs, msg.vals):
+                        reg.cp_write(idx, val)
+                else:
+                    init = self.app.initial_state(msg.flow_key)
+                    vals = init if init is not None else self.app.state_spec.default_vals()
+                    for reg, val in zip(self.state_regs, vals):
+                        reg.cp_write(idx, val)
+                self.reg_cur_seq.cp_write(idx, msg.seq)
+                self.reg_last_acked.cp_write(idx, msg.seq)
             # Control-plane register writes (state migration/init) happen
             # outside any cached path; announce them.
             self._publish_invalidation("register")
@@ -604,11 +637,27 @@ class RedPlaneEngine(ControlBlock):
             self._send_request(ctx, again, parent_uid=resp_uid)
             self._c["reads_buffered"].inc()
 
+    def _wrap_hold(self, raw: bytes) -> bytes:
+        """Prefix held packet bytes with a fresh hold nonce (see
+        ``_reinjected``); the store echoes the piggyback opaquely."""
+        nonce = self.switch.sim.new_uid()
+        return _HOLD_TAG + nonce.to_bytes(8, "big") + raw
+
     def _reinject_piggyback(self, piggyback: Optional[bytes],
                             parent_uid: Optional[int] = None) -> None:
         if piggyback is None:
             return
         for raw in unpack_packets(piggyback):
+            if raw.startswith(_HOLD_TAG) and len(raw) > _HOLD_HEADER_LEN:
+                nonce = raw[len(_HOLD_TAG):_HOLD_HEADER_LEN]
+                raw = raw[_HOLD_HEADER_LEN:]
+                # ``skip_hold_dedup`` re-introduces the double-processing
+                # bug this dedup fixed, for mutation-testing the fuzzer.
+                if not mutation_active("skip_hold_dedup"):
+                    if nonce in self._reinjected:
+                        self._c["piggyback_dups_dropped"].inc()
+                        continue
+                    self._reinjected.add(nonce)
             pkt = Packet.from_bytes(raw)
             pkt.meta["rp_reinjected"] = True
             if parent_uid is not None:

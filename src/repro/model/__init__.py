@@ -9,6 +9,7 @@ from repro.model.linearizability import (
     counter_apply,
     kv_apply,
 )
+from repro.model.witness import ViolationWitness
 from repro.model.spec import (
     InvariantViolation,
     ModelConfig,
@@ -28,6 +29,7 @@ __all__ = [
     "check_linearizable",
     "counter_apply",
     "kv_apply",
+    "ViolationWitness",
     "InvariantViolation",
     "ModelConfig",
     "ModelState",

@@ -1,0 +1,98 @@
+"""Violation witnesses: what exactly did a failed chaos run violate?
+
+A :class:`ViolationWitness` distills a chaos verdict report's failure
+modes into a small, comparable value: the set of violated property
+*kinds* (invariant names, ``NonLinearizable``, ``NoProgress``) plus the
+first violation detail for human consumption. The shrinker uses
+witnesses as its oracle — a candidate schedule "still reproduces" the
+failure iff its witness :meth:`covers` the original one, so shrinking
+cannot wander from a linearizability break to an unrelated liveness
+stall and call the result minimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Synthetic witness kinds (alongside the monitor's invariant names).
+NON_LINEARIZABLE = "NonLinearizable"
+NO_PROGRESS = "NoProgress"
+#: The Definition-3 search ran out of node budget: undecided, which is
+#: still a (distinct) failure mode — it must never be conflated with a
+#: *proven* linearizability break.
+LIN_SEARCH_EXCEEDED = "LinSearchExceeded"
+
+
+@dataclass(frozen=True)
+class ViolationWitness:
+    """The failure modes one run exhibited, in canonical order."""
+
+    #: Sorted, deduplicated property kinds that were violated.
+    kinds: Tuple[str, ...]
+    #: ``invariant -> first violation detail`` (human context, not
+    #: compared by :meth:`covers`).
+    first_details: Tuple[Tuple[str, str], ...] = ()
+
+    @classmethod
+    def from_report(cls, report: Dict[str, object]) -> "ViolationWitness":
+        """Extract the witness from a verdict report (empty for PASS)."""
+        kinds: List[str] = []
+        details: Dict[str, str] = {}
+        invariants = report.get("invariants", {})
+        for violation in invariants.get("violations", ()):  # type: ignore[union-attr]
+            name = str(violation["invariant"])  # type: ignore[index]
+            if name not in details:
+                kinds.append(name)
+                details[name] = str(violation["detail"])  # type: ignore[index]
+        if not report.get("linearizable", True):
+            if report.get("linearizability_search_exhausted"):
+                kinds.append(LIN_SEARCH_EXCEEDED)
+            else:
+                kinds.append(NON_LINEARIZABLE)
+        traffic = report.get("traffic", {})
+        if not traffic.get("delivered", 1):  # type: ignore[union-attr]
+            kinds.append(NO_PROGRESS)
+        return cls(
+            kinds=tuple(sorted(set(kinds))),
+            first_details=tuple(sorted(details.items())),
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.kinds)
+
+    def covers(self, other: "ViolationWitness") -> bool:
+        """Does this witness reproduce ``other``'s failure?
+
+        True iff every kind ``other`` exhibited is exhibited here too.
+        A shrunk schedule may expose *additional* failure modes (a
+        smaller schedule often fails harder); it must not lose any.
+        """
+        return set(other.kinds) <= set(self.kinds)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kinds": list(self.kinds),
+            "first_details": {k: v for k, v in self.first_details},
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "ViolationWitness":
+        return cls(
+            kinds=tuple(d.get("kinds", ())),  # type: ignore[arg-type]
+            first_details=tuple(sorted(
+                (str(k), str(v))
+                for k, v in dict(d.get("first_details", {})).items())),  # type: ignore[arg-type]
+        )
+
+    def describe(self) -> str:
+        if not self.kinds:
+            return "clean (no violations)"
+        parts = []
+        detail_map = dict(self.first_details)
+        for kind in self.kinds:
+            if kind in detail_map:
+                parts.append(f"{kind} ({detail_map[kind]})")
+            else:
+                parts.append(kind)
+        return "; ".join(parts)

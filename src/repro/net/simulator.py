@@ -157,6 +157,11 @@ class Simulator:
         ``"raise"`` emits the counter and raises, ``None`` is silent
         (used by :meth:`step`). Returns the number of events executed.
         """
+        # ``_events_executed`` is bumped per event, not batched at drain
+        # exit: callbacks running *inside* the drain (e.g. a workload whose
+        # termination condition reads ``sim.events_executed``) must observe
+        # a live count, or a self-rescheduling chain never sees progress
+        # and spins until the ``max_events`` guard trips.
         executed = 0
         wheel = self._wheel
         if wheel is None:
@@ -169,7 +174,6 @@ class Simulator:
                     pop(heap)
                     continue
                 if max_events is not None and executed >= max_events:
-                    self._events_executed += executed
                     self._note_exhausted(max_events, exhaust)
                     return executed
                 when = head[0]
@@ -179,6 +183,7 @@ class Simulator:
                 self.now = when
                 event.fn(*event.args)
                 executed += 1
+                self._events_executed += 1
         else:
             pop_due = wheel.pop_due
             while True:
@@ -186,7 +191,6 @@ class Simulator:
                     # Same exhaustion semantics as the heap branch: only
                     # report when a live event is actually still pending.
                     if wheel.head() is not None:
-                        self._events_executed += executed
                         self._note_exhausted(max_events, exhaust)
                         return executed
                     break
@@ -197,7 +201,7 @@ class Simulator:
                 event = entry[2]
                 event.fn(*event.args)
                 executed += 1
-        self._events_executed += executed
+                self._events_executed += 1
         return executed
 
     def _note_exhausted(self, max_events: int, exhaust: Optional[str]) -> None:

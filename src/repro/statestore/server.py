@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.mutation import mutation_active
 from repro.net import constants
 from repro.net.hosts import Host
 from repro.net.packet import FlowKey, Packet
@@ -320,7 +321,10 @@ class StateStoreNode(Host):
 
         if msg.msg_type is MessageType.REPL_WRITE_REQ:
             self._grant(rec, requester_ip, now)
-            if msg.seq > rec.last_seq:
+            # ``skip_store_dedup`` is a seeded bug for mutation-testing the
+            # chaos fuzzer (repro.mutation): with it on, the Fig 6b stale
+            # guard is bypassed and a late duplicate regresses the record.
+            if msg.seq > rec.last_seq or mutation_active("skip_store_dedup"):
                 rec.vals = list(msg.vals)
                 rec.initialized = True
                 rec.last_seq = msg.seq
@@ -566,5 +570,9 @@ def reconfigure_chain(nodes: List[StateStoreNode]) -> List[StateStoreNode]:
     alive = [node for node in nodes if not node.failed]
     if alive:
         build_chain(alive)
-        alive[0].repropagate_inflight()
+        # ``skip_chain_repair`` is a seeded bug for mutation-testing the
+        # chaos fuzzer (repro.mutation): with it on, updates stranded by
+        # the splice are never re-propagated to the repaired chain.
+        if not mutation_active("skip_chain_repair"):
+            alive[0].repropagate_inflight()
     return alive

@@ -143,6 +143,7 @@ METRICS: Tuple[MetricSpec, ...] = (
     _m("fastpath.cache_entries", "gauge", "switch"),
     _m("fastpath.invalidations", "counter", "scope"),
     _m("redplane.ack_rtt_us", "histogram", "switch"),
+    _m("redplane.resends_per_request", "histogram", "switch"),
     _m("redplane.flow_table_entries", "gauge", "switch"),
     _m("redplane.resource.*", "gauge", "switch"),
     _m("redplane.*", "counter", "switch"),

@@ -481,6 +481,115 @@ def run_chaos(campaign: Optional[str], seed: int, as_json: bool,
     return 0 if report["verdict"] == "PASS" else 1
 
 
+def run_fuzz_cli(args: "argparse.Namespace") -> int:
+    """Dispatch ``repro.tools fuzz run|self-check|shrink|replay``."""
+    from repro.chaos.fuzz import (
+        ScheduleSpec,
+        mutation_self_check,
+        regression_payload,
+        replay_regression,
+        run_fuzz,
+    )
+    from repro.chaos.scorecard import Scorecard
+    from repro.chaos.shrink import shrink_spec
+    from repro.model.witness import ViolationWitness
+
+    def emit(msg: str) -> None:
+        print(msg, file=sys.stderr)
+
+    if args.fuzz_command == "run":
+        report = run_fuzz(args.seed, args.budget, bug=args.mutation,
+                          shrink_budget=args.shrink_budget,
+                          shrink_violations=not args.no_shrink, log=emit)
+        violations = report["violations"]
+        if args.out_dir:
+            os.makedirs(args.out_dir, exist_ok=True)
+            for entry in violations:
+                payload = regression_payload(entry, args.seed, args.mutation)
+                path = os.path.join(
+                    args.out_dir,
+                    f"fuzz-s{args.seed}-i{entry['index']}.json")
+                with open(path, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, indent=1, sort_keys=True)
+                    fh.write("\n")
+                emit(f"wrote reproducer {path}")
+        if args.scorecard:
+            with open(args.scorecard, "w", encoding="utf-8") as fh:
+                json.dump(report["scorecard"], fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            emit(f"wrote scorecard {args.scorecard}")
+        if args.json:
+            print(json.dumps(report, indent=1, sort_keys=True))
+        else:
+            print(Scorecard.render_dict(report["scorecard"]))
+            print(f"{report['schedules_run']} schedules, "
+                  f"{len(violations)} violation(s)")
+        return 1 if violations else 0
+
+    if args.fuzz_command == "self-check":
+        report = mutation_self_check(
+            seed=args.seed, budget=args.budget, bug=args.bug,
+            shrink_budget=args.shrink_budget,
+            max_minimal_faults=args.max_minimal_faults, log=emit)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            emit(f"wrote self-check report {args.out}")
+        if args.json:
+            print(json.dumps(report, indent=1, sort_keys=True))
+        elif report["ok"]:
+            print(f"self-check OK: mutation {report['mutation']!r} found at "
+                  f"schedule {report['found_index']} and shrunk to "
+                  f"{report['minimal_faults']} fault(s); clean sweep green")
+        else:
+            print(f"self-check FAILED: {report.get('reason')}")
+        return 0 if report["ok"] else 1
+
+    if args.fuzz_command == "shrink":
+        with open(args.file, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        spec = ScheduleSpec.from_dict(payload["spec"])
+        witness = ViolationWitness.from_dict(payload["witness"])
+        bug = payload.get("fuzzer", {}).get("mutation")
+        shrunk = shrink_spec(spec, witness, bug=bug, budget=args.budget)
+        emit(f"shrunk {len(spec.faults)} -> {len(shrunk.spec.faults)} "
+             f"fault(s) in {shrunk.runs_used} oracle runs")
+        payload["spec"] = shrunk.spec.to_dict()
+        payload["witness"] = shrunk.witness.to_dict()
+        out = args.out or args.file
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        emit(f"wrote {out}")
+        for fault in shrunk.spec.faults:
+            print(fault.describe())
+        return 0
+
+    # replay
+    failures = 0
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        outcome = replay_regression(payload)
+        expect = args.expect
+        if expect == "auto":
+            # A reproducer minted under a seeded bug documents detection
+            # power and must still reproduce; one recorded against the
+            # real protocol must stay clean once the bug is fixed.
+            expect = "reproduce" if outcome["mutation"] else "clean"
+        reproduces = outcome["reproduces"]
+        ok = reproduces if expect == "reproduce" else not reproduces
+        status = "ok" if ok else "UNEXPECTED"
+        kinds = outcome["replayed_witness"]["kinds"]
+        print(f"{path}: expect={expect} reproduces={reproduces} "
+              f"kinds={kinds} [{status}]")
+        if args.json:
+            print(json.dumps(outcome, indent=1, sort_keys=True))
+        failures += 0 if ok else 1
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools",
@@ -595,6 +704,72 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos_parser.add_argument("--trace", metavar="PATH",
                               help="stream the full trace record stream "
                                    "to PATH as JSONL (first run only)")
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="seeded fault-schedule fuzzing: randomized schedules, "
+                     "automatic shrinking, resilience scorecard")
+    fuzz_sub = fuzz_parser.add_subparsers(dest="fuzz_command", required=True)
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="fuzz a budget of schedules and shrink every violation")
+    fuzz_run.add_argument("--seed", type=int, default=5,
+                          help="fuzzer seed (default 5)")
+    fuzz_run.add_argument("--budget", type=int, default=24,
+                          help="schedules to generate (default 24)")
+    fuzz_run.add_argument("--mutation", metavar="NAME",
+                          help="enable a seeded bug from repro.mutation "
+                               "for every run")
+    fuzz_run.add_argument("--shrink-budget", type=int, default=80,
+                          dest="shrink_budget",
+                          help="oracle runs per shrink (default 80)")
+    fuzz_run.add_argument("--no-shrink", action="store_true",
+                          dest="no_shrink",
+                          help="report violations without minimizing them")
+    fuzz_run.add_argument("--out-dir", metavar="DIR", dest="out_dir",
+                          help="write one replayable regression file per "
+                               "violation into DIR")
+    fuzz_run.add_argument("--scorecard", metavar="PATH",
+                          help="write the resilience scorecard JSON here")
+    fuzz_run.add_argument("--json", action="store_true",
+                          help="print the full fuzz report JSON")
+    fuzz_check = fuzz_sub.add_parser(
+        "self-check", help="mutation-test the fuzzer: a seeded bug must be "
+                           "found, shrunk, and vanish when disabled")
+    fuzz_check.add_argument("--seed", type=int, default=5,
+                            help="fuzzer seed (default 5)")
+    fuzz_check.add_argument("--budget", type=int, default=24,
+                            help="schedules per sweep (default 24)")
+    fuzz_check.add_argument("--bug", default="skip_hold_dedup",
+                            help="seeded bug to plant "
+                                 "(default skip_hold_dedup)")
+    fuzz_check.add_argument("--shrink-budget", type=int, default=80,
+                            dest="shrink_budget",
+                            help="oracle runs for the shrink (default 80)")
+    fuzz_check.add_argument("--max-minimal-faults", type=int, default=3,
+                            dest="max_minimal_faults",
+                            help="largest acceptable minimized reproducer "
+                                 "(default 3)")
+    fuzz_check.add_argument("--out", metavar="PATH",
+                            help="also write the self-check report JSON")
+    fuzz_check.add_argument("--json", action="store_true",
+                            help="print the self-check report JSON")
+    fuzz_shrink = fuzz_sub.add_parser(
+        "shrink", help="re-shrink a saved regression file in place")
+    fuzz_shrink.add_argument("file", help="chaos-fuzz-regression JSON file")
+    fuzz_shrink.add_argument("--budget", type=int, default=80,
+                             help="oracle runs (default 80)")
+    fuzz_shrink.add_argument("--out", metavar="PATH",
+                             help="write here instead of in place")
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="replay regression files and check their witnesses "
+                       "still (or no longer) reproduce")
+    fuzz_replay.add_argument("files", nargs="+",
+                             help="chaos-fuzz-regression JSON files")
+    fuzz_replay.add_argument("--expect", default="auto",
+                             choices=("auto", "reproduce", "clean"),
+                             help="auto: mutation-recorded files must "
+                                  "reproduce, real-protocol files must be "
+                                  "clean (default)")
+    fuzz_replay.add_argument("--json", action="store_true",
+                             help="print each replay outcome JSON")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -621,6 +796,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_chaos(args.campaign, args.seed, args.json, args.out,
                          args.check_determinism, args.list_campaigns,
                          args.trace)
+    if args.command == "fuzz":
+        return run_fuzz_cli(args)
     if args.command == "bench":
         return run_bench_diff(args.experiment)
     if args.command == "fastpath":

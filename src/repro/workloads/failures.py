@@ -31,6 +31,24 @@ from repro.net.links import Link, LinkImpairment, Port
 from repro.telemetry import trace as tt
 
 
+class ScheduleError(ValueError):
+    """A fault schedule is malformed: a fault lands at/after the campaign's
+    ``duration_us`` (it would fire inside the drain window, or never), or a
+    recovery/clear has no earlier matching fault to undo."""
+
+
+#: Clearing fault kind -> the kinds it undoes. ``validate`` requires every
+#: clearing fault to be preceded (strictly earlier) by a matching fault on
+#: the same target.
+_CLEAR_MATCHES: Dict[str, Tuple[str, ...]] = {
+    "recover_node": ("fail_node",),
+    "recover_link": ("fail_link",),
+    "clear_link": ("impair_link",),
+    "restore_store": ("degrade_store",),
+    "restart_store": ("crash_store",),
+}
+
+
 @dataclass
 class InjectedFault:
     time_us: float
@@ -45,6 +63,11 @@ class FailureSchedule:
 
     deployment: Deployment
     detect_delay_us: float = constants.FAILURE_DETECT_US
+    #: Campaign duration, when known. A fault scheduled at or after it
+    #: would fire in the drain window (or not at all) — rejected with a
+    #: :class:`ScheduleError` at scheduling time instead of silently
+    #: misbehaving.
+    duration_us: Optional[float] = None
     log: List[InjectedFault] = field(default_factory=list)
     #: Saved (proc_delay_us, service_time_us) per degraded store, so
     #: restore_store_at can undo a degradation exactly.
@@ -56,6 +79,18 @@ class FailureSchedule:
                 fn: Callable[[], None], detail: str = "",
                 clear: bool = False) -> None:
         """Schedule ``fn`` at ``time_us``, logging and tracing the fault."""
+        if time_us < 0:
+            raise ScheduleError(
+                f"fault {kind!r} on {target!r} scheduled at negative time "
+                f"t={time_us}"
+            )
+        if self.duration_us is not None and time_us >= self.duration_us:
+            raise ScheduleError(
+                f"fault {kind!r} on {target!r} scheduled at t={time_us}us, "
+                f"at/after the campaign duration ({self.duration_us}us): it "
+                f"would fire inside the drain window; move it earlier or "
+                f"extend the campaign"
+            )
         tracer = self.deployment.sim.tracer
         event_type = tt.FAULT_CLEAR if clear else tt.FAULT_INJECT
 
@@ -304,6 +339,31 @@ class FailureSchedule:
                 self.recover_store_at(time_us, index)
         return self
 
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Reject recover-before-fail orderings.
+
+        Every clearing fault (recover/clear/restore/restart) must be
+        preceded — strictly earlier on the schedule's timeline — by a
+        matching fault on the same target; otherwise the recovery is a
+        no-op at best and a double-recovery hazard at worst. Raises
+        :class:`ScheduleError` naming the offending fault.
+        """
+        ordered = sorted(self.log, key=lambda f: f.time_us)
+        for i, fault in enumerate(ordered):
+            matches = _CLEAR_MATCHES.get(fault.kind)
+            if matches is None:
+                continue
+            if not any(prior.kind in matches and prior.target == fault.target
+                       and prior.time_us < fault.time_us
+                       for prior in ordered[:i]):
+                raise ScheduleError(
+                    f"{fault.kind!r} on {fault.target!r} at t={fault.time_us}us "
+                    f"has no earlier matching {'/'.join(matches)} fault to "
+                    f"undo: recover-before-fail ordering"
+                )
+
     # -- reporting ------------------------------------------------------------
 
     def summary(self) -> List[Tuple[float, str, str]]:
@@ -317,3 +377,174 @@ class FailureSchedule:
              "detail": f.detail}
             for f in sorted(self.log, key=lambda f: (f.time_us, f.kind, f.target))
         ]
+
+
+# -- serializable fault grammar ------------------------------------------------
+
+#: FaultSpec kind -> the FailureSchedule primitive it dispatches to, plus
+#: the parameter names it accepts. This is the fuzzer's (and the regression
+#: replayer's) schedule grammar: a schedule is a sorted tuple of FaultSpecs,
+#: each of which round-trips through JSON byte-identically.
+FAULT_GRAMMAR: Dict[str, Tuple[str, ...]] = {
+    "fail_switch": ("switch",),
+    "recover_switch": ("switch",),
+    "fail_store": ("index",),
+    "recover_store": ("index",),
+    "crash_store": ("index",),
+    "recover_store_from_disk": ("index",),
+    "fail_link": ("link",),
+    "recover_link": ("link",),
+    "impair_link": ("link", "corrupt_rate", "drop_rate", "duplicate_rate",
+                    "jitter_us", "bandwidth_scale", "blocked", "from_node"),
+    "clear_link": ("link", "from_node"),
+    "degrade_store": ("index", "proc_delay_us", "service_time_us"),
+    "restore_store": ("index",),
+    "expire_leases": ("switch",),
+}
+
+#: FaultSpec kinds that clear an earlier fault -> the spec kinds they undo.
+#: This is the grammar-level mirror of ``_CLEAR_MATCHES`` (which works on
+#: the injected-fault kinds); the shrinker uses it to drop fault/clear
+#: pairs together.
+SPEC_CLEAR_MATCHES: Dict[str, Tuple[str, ...]] = {
+    "recover_switch": ("fail_switch",),
+    "recover_store": ("fail_store",),
+    "recover_store_from_disk": ("crash_store",),
+    "recover_link": ("fail_link",),
+    "clear_link": ("impair_link",),
+    "restore_store": ("degrade_store",),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault of the serializable schedule grammar.
+
+    ``kind`` names a ``FAULT_GRAMMAR`` entry; ``params`` holds only that
+    entry's JSON-scalar parameters. ``apply_to`` dispatches to the
+    corresponding :class:`FailureSchedule` primitive, so a tuple of specs
+    IS a schedule — buildable, serializable, and replayable.
+    """
+
+    kind: str
+    time_us: float
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        allowed = FAULT_GRAMMAR.get(self.kind)
+        if allowed is None:
+            raise ScheduleError(f"unknown fault kind {self.kind!r}")
+        for name, _ in self.params:
+            if name not in allowed:
+                raise ScheduleError(
+                    f"fault kind {self.kind!r} takes no parameter {name!r} "
+                    f"(allowed: {', '.join(allowed)})"
+                )
+
+    @property
+    def param_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    #: The same-target pairing key the shrinker and validator use.
+    def target_key(self) -> Tuple[str, object]:
+        p = self.param_dict
+        if "index" in FAULT_GRAMMAR[self.kind]:
+            return ("store", p.get("index"))
+        if "link" in FAULT_GRAMMAR[self.kind]:
+            return ("link", p.get("link"))
+        return ("switch", p.get("switch"))
+
+    def describe(self) -> str:
+        inner = " ".join(f"{k}={v}" for k, v in self.params)
+        return f"t={self.time_us:.0f}us {self.kind}" + (f" {inner}" if inner else "")
+
+    # -- construction / serialization --------------------------------------
+
+    @classmethod
+    def make(cls, kind: str, time_us: float, **params: object) -> "FaultSpec":
+        """Build a spec with params canonically ordered by the grammar."""
+        allowed = FAULT_GRAMMAR.get(kind)
+        if allowed is None:
+            raise ScheduleError(f"unknown fault kind {kind!r}")
+        ordered = tuple((name, params[name]) for name in allowed
+                        if name in params)
+        extra = set(params) - set(allowed)
+        if extra:
+            raise ScheduleError(
+                f"fault kind {kind!r} takes no parameter "
+                f"{', '.join(sorted(map(repr, extra)))}"
+            )
+        return cls(kind=kind, time_us=float(time_us), params=ordered)
+
+    def to_dict(self) -> Dict[str, object]:
+        d: Dict[str, object] = {"kind": self.kind, "time_us": self.time_us}
+        d.update(self.params)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "FaultSpec":
+        params = {k: v for k, v in d.items() if k not in ("kind", "time_us")}
+        return cls.make(str(d["kind"]), float(d["time_us"]), **params)  # type: ignore[arg-type]
+
+    #: Deterministic schedule ordering: time, then kind, then params.
+    def sort_key(self) -> Tuple[object, ...]:
+        return (self.time_us, self.kind, tuple(
+            (k, repr(v)) for k, v in self.params))
+
+    # -- replay -------------------------------------------------------------
+
+    def apply_to(self, schedule: FailureSchedule) -> None:
+        """Schedule this fault on a live :class:`FailureSchedule`."""
+        p = self.param_dict
+        t = self.time_us
+        kind = self.kind
+        if kind == "fail_switch":
+            schedule.fail_switch_at(t, str(p["switch"]))
+        elif kind == "recover_switch":
+            schedule.recover_switch_at(t, str(p["switch"]))
+        elif kind == "fail_store":
+            schedule.fail_store_at(t, int(p["index"]))  # type: ignore[arg-type]
+        elif kind == "recover_store":
+            schedule.recover_store_at(t, int(p["index"]))  # type: ignore[arg-type]
+        elif kind == "crash_store":
+            schedule.crash_store_at(t, int(p["index"]))  # type: ignore[arg-type]
+        elif kind == "recover_store_from_disk":
+            schedule.recover_store_from_disk_at(t, int(p["index"]))  # type: ignore[arg-type]
+        elif kind == "fail_link":
+            schedule.fail_link_at(t, int(p["link"]))  # type: ignore[arg-type]
+        elif kind == "recover_link":
+            schedule.recover_link_at(t, int(p["link"]))  # type: ignore[arg-type]
+        elif kind == "impair_link":
+            impairment = LinkImpairment(
+                corrupt_rate=float(p.get("corrupt_rate", 0.0)),  # type: ignore[arg-type]
+                drop_rate=float(p.get("drop_rate", 0.0)),  # type: ignore[arg-type]
+                duplicate_rate=float(p.get("duplicate_rate", 0.0)),  # type: ignore[arg-type]
+                jitter_us=float(p.get("jitter_us", 0.0)),  # type: ignore[arg-type]
+                bandwidth_scale=float(p.get("bandwidth_scale", 1.0)),  # type: ignore[arg-type]
+                blocked=bool(p.get("blocked", False)),
+            )
+            schedule.impair_link_at(
+                t, schedule.link(int(p["link"])), impairment,  # type: ignore[arg-type]
+                from_node=p.get("from_node"))  # type: ignore[arg-type]
+        elif kind == "clear_link":
+            schedule.clear_link_at(
+                t, schedule.link(int(p["link"])),  # type: ignore[arg-type]
+                from_node=p.get("from_node"))  # type: ignore[arg-type]
+        elif kind == "degrade_store":
+            schedule.degrade_store_at(
+                t, int(p["index"]),  # type: ignore[arg-type]
+                proc_delay_us=p.get("proc_delay_us"),  # type: ignore[arg-type]
+                service_time_us=p.get("service_time_us"))  # type: ignore[arg-type]
+        elif kind == "restore_store":
+            schedule.restore_store_at(t, int(p["index"]))  # type: ignore[arg-type]
+        elif kind == "expire_leases":
+            schedule.expire_leases_at(t, switch=p.get("switch"))  # type: ignore[arg-type]
+        else:  # pragma: no cover - __post_init__ rejects unknown kinds
+            raise ScheduleError(f"unknown fault kind {kind!r}")
+
+
+def apply_specs(schedule: FailureSchedule,
+                specs: Tuple[FaultSpec, ...]) -> None:
+    """Apply a spec tuple to a live schedule in deterministic order."""
+    for spec in sorted(specs, key=FaultSpec.sort_key):
+        spec.apply_to(schedule)

@@ -10,11 +10,12 @@ from repro.tools.runner import main as tools_main
 
 
 def test_campaign_inventory_is_complete():
-    assert len(CAMPAIGNS) >= 8
+    assert len(CAMPAIGNS) >= 11
     assert {
         "single_failover", "flapping_link", "gray_link",
         "partitioned_store_head", "rolling_rack_failure", "lease_race",
-        "duplicate_storm", "corruption_sweep",
+        "duplicate_storm", "corruption_sweep", "store_crash_recover_wal",
+        "corruption_storm", "corruption_storm_store",
     } <= set(CAMPAIGNS)
     for name, campaign in CAMPAIGNS.items():
         assert campaign.name == name

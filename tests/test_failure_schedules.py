@@ -9,7 +9,7 @@ from repro.model.linearizability import check_counter_history
 from repro.net.links import LinkImpairment
 from repro.net.packet import Packet
 from repro.telemetry import trace as tt
-from repro.workloads.failures import FailureSchedule
+from repro.workloads.failures import FailureSchedule, ScheduleError
 
 
 def steady_traffic(sim, dep, n, gap_us=100_000.0):
@@ -159,6 +159,49 @@ def test_gray_primitives_schedule_and_log():
     detailed = schedule.detailed_summary()
     assert all(set(f) == {"time_us", "kind", "target", "detail"}
                for f in detailed)
+
+
+def test_schedule_rejects_fault_at_or_after_duration(sim, counter_deployment):
+    schedule = FailureSchedule(counter_deployment, duration_us=1_000_000.0)
+    with pytest.raises(ScheduleError, match="drain window"):
+        schedule.fail_switch_at(1_000_000.0, "agg1")
+    with pytest.raises(ScheduleError, match="drain window"):
+        schedule.expire_leases_at(1_500_000.0)
+    # Without a declared duration anything non-negative is accepted.
+    open_ended = FailureSchedule(counter_deployment)
+    open_ended.expire_leases_at(9_000_000.0)
+
+
+def test_schedule_rejects_negative_time(sim, counter_deployment):
+    schedule = FailureSchedule(counter_deployment)
+    with pytest.raises(ScheduleError, match="negative"):
+        schedule.fail_switch_at(-1.0, "agg1")
+
+
+def test_validate_rejects_recover_before_fail(sim, counter_deployment):
+    schedule = FailureSchedule(counter_deployment)
+    schedule.recover_switch_at(5_000.0, "agg1")
+    with pytest.raises(ScheduleError, match="recover-before-fail"):
+        schedule.validate()
+
+
+def test_validate_requires_matching_target(sim, counter_deployment):
+    # A recovery only clears a fault on the *same* target: failing agg1
+    # does not license recovering agg2.
+    schedule = FailureSchedule(counter_deployment)
+    schedule.fail_switch_at(1_000.0, "agg1")
+    schedule.recover_switch_at(5_000.0, "agg2")
+    with pytest.raises(ScheduleError, match="agg2"):
+        schedule.validate()
+
+
+def test_validate_accepts_ordered_pairs_and_standalone_faults(
+        sim, counter_deployment):
+    schedule = FailureSchedule(counter_deployment)
+    schedule.fail_switch_at(1_000.0, "agg1")
+    schedule.recover_switch_at(5_000.0, "agg1")
+    schedule.expire_leases_at(2_000.0)  # no clear kind; always valid
+    schedule.validate()
 
 
 def test_rack_failure_takes_tor_and_store(sim, counter_deployment):
