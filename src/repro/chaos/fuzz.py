@@ -361,16 +361,21 @@ def generate_spec(fuzz_seed: int, index: int) -> ScheduleSpec:
 
 def run_spec(spec: ScheduleSpec,
              bug: Optional[str] = None,
-             trace_path: Optional[str] = None) -> RunResult:
+             trace_path: Optional[str] = None,
+             observe=None) -> RunResult:
     """Run one spec (optionally with a seeded bug from :mod:`repro.mutation`
-    enabled for the run's duration) and return the full result."""
+    enabled for the run's duration) and return the full result.
+
+    ``observe`` takes a :class:`repro.observe.ObserveOptions`; the fuzz
+    loop uses it to arm the health detectors so the scorecard can pool
+    ``health.*`` detections per fault class."""
     campaign = spec.to_campaign()
     if bug is None:
         return run_campaign_result(campaign, seed=spec.sim_seed,
-                                   trace_path=trace_path)
+                                   trace_path=trace_path, observe=observe)
     with mutation.seeded_bug(bug):
         return run_campaign_result(campaign, seed=spec.sim_seed,
-                                   trace_path=trace_path)
+                                   trace_path=trace_path, observe=observe)
 
 
 def spec_witness(spec: ScheduleSpec,
@@ -400,13 +405,19 @@ def run_fuzz(
     """
     from repro.chaos.scorecard import Scorecard
     from repro.chaos.shrink import shrink_spec
+    from repro.observe import ObserveOptions
 
     emit = log if log is not None else (lambda _msg: None)
     scorecard = Scorecard()
     violations: List[Dict[str, object]] = []
+    # Health detectors ride along on every fuzz run so the scorecard can
+    # pool health.* detections per fault class. Shrink re-runs stay
+    # unobserved: they only need witnesses, and health events are extra
+    # trace records the delta-debugger would have to reproduce exactly.
+    observe = ObserveOptions(health=True)
     for index in range(budget):
         spec = generate_spec(seed, index)
-        result = run_spec(spec, bug=bug)
+        result = run_spec(spec, bug=bug, observe=observe)
         witness = ViolationWitness.from_report(result.report)
         scorecard.add(spec, result, witness)
         if not witness:

@@ -31,6 +31,7 @@ from repro.deploy import deploy
 from repro.model.linearizability import check_counter_history
 from repro.model.monitors import InvariantMonitor
 from repro.net.simulator import Simulator
+from repro.observe import ObserveOptions
 from repro.statestore.failover import StoreFailoverCoordinator
 from repro.statestore.wal import WALBackend
 from repro.telemetry.metrics import percentile
@@ -62,11 +63,15 @@ class RunResult:
     schedule: FailureSchedule
     monitor: InvariantMonitor
     metrics: object  # the run's MetricRegistry
+    #: The run's :class:`repro.observe.Observe` bundle (profiler,
+    #: heartbeat snapshots, health detections), or ``None`` when the
+    #: campaign ran unobserved.
+    observe: Optional[object] = None
 
 
 def run_campaign(
     name: str, seed: int = 42, trace_path: Optional[str] = None,
-    fastpath: bool = False,
+    fastpath: bool = False, observe: Optional[ObserveOptions] = None,
 ) -> Dict[str, object]:
     """Run one named campaign and return its verdict report.
 
@@ -84,12 +89,12 @@ def run_campaign(
         known = ", ".join(sorted(CAMPAIGNS))
         raise KeyError(f"unknown campaign {name!r}; known: {known}") from None
     return run_campaign_result(campaign, seed=seed, trace_path=trace_path,
-                               fastpath=fastpath).report
+                               fastpath=fastpath, observe=observe).report
 
 
 def run_campaign_result(
     campaign: Campaign, seed: int = 42, trace_path: Optional[str] = None,
-    fastpath: bool = False,
+    fastpath: bool = False, observe: Optional[ObserveOptions] = None,
 ) -> RunResult:
     """Run a :class:`Campaign` object (named or generated) and return the
     full :class:`RunResult`. The schedule is validated after it is built:
@@ -121,14 +126,15 @@ def run_campaign_result(
 
     try:
         return _run_deployed(campaign, seed, sim, trace_path, fastpath,
-                             backend_factory, config_kwargs)
+                             backend_factory, config_kwargs, observe)
     finally:
         if scratch is not None:
             shutil.rmtree(scratch, ignore_errors=True)
 
 
 def _run_deployed(campaign, seed, sim, trace_path, fastpath,
-                  backend_factory, config_kwargs) -> RunResult:
+                  backend_factory, config_kwargs,
+                  observe: Optional[ObserveOptions] = None) -> RunResult:
     dep = deploy(sim, EchoCounterApp, config=RedPlaneConfig(**config_kwargs),
                  num_shards=campaign.num_shards,
                  chain_length=campaign.chain_length,
@@ -163,18 +169,44 @@ def _run_deployed(campaign, seed, sim, trace_path, fastpath,
         campaign.build(schedule)
     schedule.validate()
 
+    bundle = None
+    if observe is not None and observe.enabled:
+        from repro.observe import attach as attach_observe
+
+        providers = {
+            "delivered": lambda: workload.delivered,
+            "faults_active": lambda: len(schedule.active_at(sim.now)),
+            "stores_down": lambda: schedule.stores_down_at(sim.now),
+        }
+        bundle = attach_observe(
+            sim,
+            profile=observe.profile,
+            heartbeat_path=observe.heartbeat_path,
+            heartbeat_interval_us=(
+                observe.heartbeat_interval_us if observe.wants_heartbeat
+                else None),
+            links=list(dep.bed.topology.links),
+            providers=providers,
+            health=observe.health,
+        )
+
     sim.run(until=campaign.duration_us)
     monitor.stop()
     if coordinator is not None:
         coordinator.stop()
     sim.run(until=campaign.duration_us + DRAIN_US)
+    if bundle is not None:
+        if bundle.profiler is not None:
+            bundle.profiler.publish(sim.metrics)
+        bundle.close()
+        sim.detach_observe()
     if trace_path is not None:
         sim.tracer.close_sink()
 
     report = _build_report(campaign, seed, dep, workload, schedule, monitor,
                            coordinator)
     return RunResult(report=report, workload=workload, schedule=schedule,
-                     monitor=monitor, metrics=sim.metrics)
+                     monitor=monitor, metrics=sim.metrics, observe=bundle)
 
 
 def _recovery_latencies(schedule: FailureSchedule,

@@ -40,7 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class _ClassStats:
     __slots__ = ("schedules", "faults", "violations", "latencies",
-                 "unrecovered", "resends", "records_lost")
+                 "unrecovered", "resends", "records_lost", "health")
 
     def __init__(self) -> None:
         self.schedules = 0
@@ -50,6 +50,8 @@ class _ClassStats:
         self.unrecovered = 0
         self.resends: List[int] = []
         self.records_lost = 0
+        #: detector name -> detections, pooled over runs with this class.
+        self.health: Dict[str, int] = {}
 
 
 class Scorecard:
@@ -59,6 +61,9 @@ class Scorecard:
         self._classes: Dict[str, _ClassStats] = {}
         self.schedules_run = 0
         self.schedules_violated = 0
+        #: detector name -> detections, pooled over the whole sweep (runs
+        #: that carried a :class:`repro.observe.HealthMonitor`).
+        self.health_detections: Dict[str, int] = {}
 
     def add(self, spec: "ScheduleSpec", result: "RunResult",
             witness: ViolationWitness) -> None:
@@ -70,6 +75,14 @@ class Scorecard:
         deliveries = sorted(result.workload.delivery_times())
         resends = int(result.metrics.total("redplane.retransmissions"))
         lost = spec.packets - result.workload.delivered
+        health_counts: Dict[str, int] = {}
+        observe = getattr(result, "observe", None)
+        if observe is not None and observe.health is not None:
+            health_counts = observe.health.counts()
+            for name in sorted(health_counts):
+                self.health_detections[name] = (
+                    self.health_detections.get(name, 0)
+                    + health_counts[name])
 
         seen_classes = set()
         for fault in sorted(spec.faults, key=FaultSpec.sort_key):
@@ -89,6 +102,9 @@ class Scorecard:
                     stats.violations += 1
                 stats.resends.append(resends)
                 stats.records_lost += lost
+                for name in sorted(health_counts):
+                    stats.health[name] = (
+                        stats.health.get(name, 0) + health_counts[name])
 
     def to_dict(self) -> Dict[str, object]:
         classes: Dict[str, object] = {}
@@ -110,10 +126,19 @@ class Scorecard:
                     "p90_us": round(percentile(stats.latencies, 90.0), 3),
                     "max_us": round(max(stats.latencies), 3),
                 }
+            if stats.health:
+                entry["health_detections"] = {
+                    name: stats.health[name]
+                    for name in sorted(stats.health)
+                }
             classes[kind] = entry
         return {
             "schedules_run": self.schedules_run,
             "schedules_violated": self.schedules_violated,
+            "health_detections": {
+                name: self.health_detections[name]
+                for name in sorted(self.health_detections)
+            },
             "fault_classes": classes,
         }
 
@@ -123,7 +148,14 @@ class Scorecard:
 
     @staticmethod
     def render_dict(d: Dict[str, object]) -> str:
-        """Render a :meth:`to_dict` payload (e.g. from a saved report)."""
+        """Render a :meth:`to_dict` payload (e.g. from a saved report).
+
+        Output ordering is fully deterministic regardless of the input
+        dict's insertion order: fault classes and health detectors are
+        sorted here, not trusted from the payload, and every float is
+        formatted through an explicit ``.1f``/``.3f`` spec (never
+        ``repr``), so two renders of equal payloads are byte-identical.
+        """
         lines = [
             f"schedules  : {d['schedules_run']} run, "
             f"{d['schedules_violated']} violated",
@@ -131,7 +163,9 @@ class Scorecard:
             f"{'viol':>5} {'rec p50':>9} {'rec max':>9} "
             f"{'resends':>8} {'lost':>5}",
         ]
-        for kind, entry in d["fault_classes"].items():  # type: ignore[union-attr]
+        classes = d["fault_classes"]
+        for kind in sorted(classes):  # type: ignore[arg-type]
+            entry = classes[kind]  # type: ignore[index]
             rec = entry.get("recovery_latency_us", {})
             p50 = f"{rec['p50_us'] / 1000.0:.1f}ms" if rec else "-"
             mx = f"{rec['max_us'] / 1000.0:.1f}ms" if rec else "-"
@@ -140,4 +174,8 @@ class Scorecard:
                 f"{entry['violations']:>5} {p50:>9} {mx:>9} "
                 f"{entry['max_resend_storm']:>8} {entry['records_lost']:>5}"
             )
+        health = d.get("health_detections") or {}
+        if health:
+            lines.append("health     : " + ", ".join(
+                f"{name}={health[name]}" for name in sorted(health)))
         return "\n".join(lines)

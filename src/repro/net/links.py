@@ -400,6 +400,15 @@ class Link:
     def impaired(self) -> bool:
         return bool(self._impairments)
 
+    def backlog_us(self) -> float:
+        """Summed transmit-queue drain time across both directions, in
+        simulated microseconds from *now* — the queue-depth number the
+        observability heartbeat reports. 0.0 when both directions are
+        idle. Pure read of serialization state; no side effects."""
+        now = self.sim.now
+        return sum(max(0.0, busy - now)
+                   for busy in self._busy_until.values())
+
     # -- registry-backed accounting views ---------------------------------------
 
     @property

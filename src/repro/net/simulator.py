@@ -115,6 +115,11 @@ class Simulator:
         #: Components consult this on their hot paths; ``None`` means every
         #: packet takes the reference (slow) path.
         self.fastpath = None
+        #: The attached :class:`repro.observe.Observe` bundle (profiler +
+        #: heartbeat hooks), or ``None``. When ``None`` the drain loop is
+        #: the untouched fast path; when set, :meth:`_drain_observed`
+        #: runs instead. Observation reads state, never mutates it.
+        self._observe = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -162,6 +167,8 @@ class Simulator:
         # termination condition reads ``sim.events_executed``) must observe
         # a live count, or a self-rescheduling chain never sees progress
         # and spins until the ``max_events`` guard trips.
+        if self._observe is not None:
+            return self._drain_observed(until, max_events, exhaust)
         executed = 0
         wheel = self._wheel
         if wheel is None:
@@ -218,6 +225,101 @@ class Simulator:
             RuntimeWarning,
             stacklevel=3,
         )
+
+    def _drain_observed(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        exhaust: Optional[str],
+    ) -> int:
+        """:meth:`_drain` with the :mod:`repro.observe` hooks applied.
+
+        Identical event-selection semantics (same ``(time, seq)`` order,
+        same ``until``/``max_events``/``exhaust`` behaviour) — only the
+        per-event epilogue differs: the elapsed wall time since the last
+        epilogue is attributed to the finished callback, and the
+        heartbeat hook gets a chance to snapshot. Both hooks read
+        simulator state; neither mutates it, touches the RNG, or puts
+        events on the queue, so an observed run is bit-identical to an
+        unobserved one (tests/test_observe.py enforces this).
+
+        Kept separate from :meth:`_drain` so the unobserved hot loop
+        pays nothing — not even a dead branch per event.
+        """
+        observe = self._observe
+        profiler = observe.profiler
+        tick = profiler.tick if profiler is not None else None
+        heartbeat = observe.heartbeat_tick
+        executed = 0
+        wheel = self._wheel
+        if profiler is not None:
+            profiler.start()
+        if wheel is None:
+            heap = self._heap
+            pop = heapq.heappop
+            while heap:
+                head = heap[0]
+                event = head[2]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                if max_events is not None and executed >= max_events:
+                    self._note_exhausted(max_events, exhaust)
+                    return executed
+                when = head[0]
+                if until is not None and when > until:
+                    break
+                pop(heap)
+                self.now = when
+                event.fn(*event.args)
+                executed += 1
+                self._events_executed += 1
+                if tick is not None:
+                    tick(event.fn)
+                if heartbeat is not None:
+                    heartbeat(self.now)
+        else:
+            pop_due = wheel.pop_due
+            while True:
+                if max_events is not None and executed >= max_events:
+                    if wheel.head() is not None:
+                        self._note_exhausted(max_events, exhaust)
+                        return executed
+                    break
+                entry = pop_due(until)
+                if entry is None:
+                    break
+                self.now = entry[0]
+                event = entry[2]
+                event.fn(*event.args)
+                executed += 1
+                self._events_executed += 1
+                if tick is not None:
+                    tick(event.fn)
+                if heartbeat is not None:
+                    heartbeat(self.now)
+        return executed
+
+    # -- observation -----------------------------------------------------------
+
+    def attach_observe(self, observe: Any) -> None:
+        """Attach a :class:`repro.observe.Observe` bundle to the drain loop.
+
+        ``observe`` must expose ``profiler`` (``None`` or an object with
+        ``start()``/``tick(fn)``) and ``heartbeat_tick`` (``None`` or a
+        callable taking the current simulated time). Pass-through
+        replaces any previous bundle.
+        """
+        self._observe = observe
+
+    def detach_observe(self) -> None:
+        """Return the drain loop to the unobserved fast path."""
+        self._observe = None
+
+    @property
+    def observe(self) -> Any:
+        """The attached observe bundle, or ``None``."""
+        return self._observe
 
     def step(self) -> bool:
         """Execute the next pending event. Returns False if none remain."""

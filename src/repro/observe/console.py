@@ -1,0 +1,116 @@
+"""The live campaign health console: ``repro.tools watch``.
+
+Renders the NDJSON heartbeat stream a campaign writes (see
+:mod:`repro.observe.heartbeat`) as one aligned line per snapshot, either
+over a finished file or tailing a growing one (``--follow``) while a
+campaign runs in another process.
+
+This module runs *outside* the simulation — it only ever reads a file —
+so its polling sleep touches no simulator state and no determinism
+contract. Rendering is a pure function of the snapshot dicts: the same
+file always renders to the same text, which is what the console test
+asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, IO, Iterator, Optional
+
+#: Seconds between polls of a followed file.
+POLL_S = 0.25
+
+_HEADER = (f"{'sim time':>10} {'events':>9} {'ev/ms':>8} {'pend':>6} "
+           f"{'backlog':>9} {'retx':>5} {'acks':>6} {'leases':>6} "
+           f"{'recov':>5} {'drops':>5} {'faults':>6} {'deliv':>7}")
+
+
+def render_header() -> str:
+    """Column header matching :func:`render_snapshot`."""
+    return _HEADER
+
+
+def render_snapshot(snap: Dict[str, object]) -> str:
+    """One fixed-width console line for one heartbeat snapshot."""
+    queues = snap.get("queues", {})
+    counters = snap.get("counters", {})
+    t_ms = float(snap.get("t_us", 0.0)) / 1000.0
+    backlog = float(queues.get("link_backlog_us", 0.0))
+    faults = snap.get("faults_active", "-")
+    delivered = snap.get("delivered", "-")
+    return (
+        f"{t_ms:>8.1f}ms {snap.get('events', 0):>9} "
+        f"{float(snap.get('events_per_sim_ms', 0.0)):>8.1f} "
+        f"{snap.get('pending', 0):>6} "
+        f"{backlog:>7.1f}us "
+        f"{counters.get('retransmissions', 0):>5} "
+        f"{counters.get('acks_received', 0):>6} "
+        f"{counters.get('lease_requests', 0):>6} "
+        f"{counters.get('store_recoveries', 0):>5} "
+        f"{counters.get('link_drops', 0):>5} "
+        f"{faults!s:>6} "
+        f"{delivered!s:>7}"
+    )
+
+
+def _lines(fh: IO[str], follow: bool) -> Iterator[str]:
+    """Complete lines from ``fh``; in follow mode, poll for growth.
+
+    A partially-written trailing line (no newline yet) is held back until
+    its newline arrives, so a snapshot is never rendered half-parsed.
+    """
+    buffer = ""
+    while True:
+        chunk = fh.readline()
+        if chunk:
+            buffer += chunk
+            if buffer.endswith("\n"):
+                yield buffer.strip()
+                buffer = ""
+            continue
+        if not follow:
+            if buffer.strip():
+                yield buffer.strip()
+            return
+        time.sleep(POLL_S)
+
+
+def watch(
+    path: str,
+    follow: bool = False,
+    out: Optional[IO[str]] = None,
+    max_lines: Optional[int] = None,
+) -> int:
+    """Render a heartbeat file to ``out`` (default stdout); 0 on success.
+
+    ``follow=True`` keeps tailing until interrupted. ``max_lines`` stops
+    after that many snapshots (tests use it to bound follow mode).
+    """
+    sink = out if out is not None else sys.stdout
+    try:
+        fh = open(path, encoding="utf-8")
+    except OSError as exc:
+        print(f"cannot open {path}: {exc}", file=sys.stderr)
+        return 2
+    shown = 0
+    with fh:
+        print(render_header(), file=sink)
+        try:
+            for line in _lines(fh, follow):
+                if not line:
+                    continue
+                try:
+                    snap = json.loads(line)
+                except ValueError:
+                    print(f"skipping unparseable line: {line[:60]}...",
+                          file=sys.stderr)
+                    continue
+                print(render_snapshot(snap), file=sink, flush=follow)
+                shown += 1
+                if max_lines is not None and shown >= max_lines:
+                    break
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+    return 0

@@ -1,0 +1,258 @@
+"""Deterministic self-profiler for the event loop.
+
+The simulator's observed drain loop (``Simulator.attach_observe``) calls
+:meth:`Profiler.start` once per drain and :meth:`Profiler.tick` after
+every executed event callback; the profiler owns the wall-clock reads
+(one ``perf_counter`` per event) and attributes the elapsed time to a
+*handler* — the callback's ``(subsystem, module, qualname)`` — keeping
+exact per-handler event counts alongside the wall-time totals. Keeping
+the clock inside this module means the simulator itself never reads
+wall time (the RD201 determinism lint holds it to that).
+
+Design constraints, in order:
+
+* **Bit identity.** Profiling reads the wall clock only for its own
+  accounting; it never touches simulator state, the RNG, the event
+  queue, the tracer, or any non-``observe.*`` metric. A profiled run's
+  events/trace/records are byte-identical to an unprofiled run
+  (``tests/test_observe.py`` enforces it on a chaos campaign).
+* **Bounded overhead.** The hot path is one ``perf_counter`` read, one
+  dict probe keyed on the callback's underlying function object, and two
+  float adds. Attribute resolution (module/qualname/subsystem mapping)
+  happens once per distinct callback and is memoized; the memo is capped
+  at :data:`CACHE_LIMIT` entries so schedule-churn workloads (one
+  closure per fault, say) cannot grow it without bound — past the cap,
+  callbacks resolve uncached (counted in :attr:`Profiler.cache_overflows`).
+* **Exact counts.** Event counts per handler are exact and deterministic
+  (they are a pure function of the event stream); wall times are honest
+  wall clock and therefore machine-dependent — they feed the component
+  table and flamegraph, never an identity-checked artifact.
+
+Output shapes:
+
+* :meth:`Profiler.subsystem_table` — per-subsystem calls/wall/share rows;
+* :meth:`Profiler.handler_rows` — the same per handler, hottest first;
+* :meth:`Profiler.collapsed_stacks` — Brendan-Gregg collapsed-stack
+  lines (``sim;<subsystem>;<module>;<handler> <microseconds>``) that
+  ``flamegraph.pl`` / speedscope / inferno all consume directly.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+#: Module-prefix -> subsystem, checked longest-prefix-first. Everything
+#: the ISSUE's component table names, plus the remaining repro packages.
+SUBSYSTEM_PREFIXES: Tuple[Tuple[str, str], ...] = (
+    ("repro.core", "engine"),
+    ("repro.statestore", "statestore"),
+    ("repro.fastpath", "fastpath"),
+    ("repro.net.links", "links"),
+    ("repro.net.hosts", "hosts"),
+    ("repro.net", "net"),
+    ("repro.chaos", "chaos"),
+    ("repro.workloads", "workload"),
+    ("repro.model", "model"),
+    ("repro.telemetry", "telemetry"),
+    ("repro.switch", "switch"),
+    ("repro.observe", "observe"),
+    ("repro.apps", "app"),
+    ("repro.baselines", "baseline"),
+)
+
+#: Memo cap for callback -> stats-entry resolution (see module docstring).
+CACHE_LIMIT = 8192
+
+#: Stats entry layout: a two-slot list mutated in place on the hot path.
+_CALLS, _WALL = 0, 1
+
+
+def subsystem_of(module: str) -> str:
+    """Map a callback's defining module to its subsystem name."""
+    for prefix, subsystem in SUBSYSTEM_PREFIXES:
+        if module == prefix or module.startswith(prefix + "."):
+            return subsystem
+    return "other"
+
+
+class Profiler:
+    """Exact per-handler wall-time and event-count accounting."""
+
+    def __init__(self) -> None:
+        #: (subsystem, module, qualname) -> [calls, wall_s].
+        self._stats: Dict[Tuple[str, str, str], List[float]] = {}
+        #: Underlying-function-object -> stats entry memo (capped).
+        self._cache: Dict[object, List[float]] = {}
+        self.cache_overflows = 0
+        #: Wall seconds spent inside observed drains but outside any
+        #: handler (scheduler pop/push, the observer itself).
+        self.overhead_s = 0.0
+        #: One-slot mutable cell for the previous clock read, shared
+        #: between :meth:`start` and the :attr:`tick` closure.
+        self._t_prev = [0.0]
+        #: The per-event hot path, prebuilt as a closure so the drain
+        #: loop pays no method binding or ``self`` attribute loads —
+        #: this is what keeps observed-run overhead inside the <10%
+        #: budget (``benchmarks/test_perf_eventloop.py``).
+        self.tick = self._make_tick()
+
+    # -- hot path -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the clock at the top of an observed drain."""
+        self._t_prev[0] = perf_counter()  # repro: noqa[RD201] -- profiler accounting only; never reaches simulator state
+
+    def _make_tick(self):
+        """Build the tick closure: attribute the wall time since the
+        last tick (or :meth:`start`) to the finished callback, plus one
+        event. All lookups are pre-bound; the body is one clock read,
+        one ``getattr``, one dict probe, and two in-place adds."""
+        t_prev = self._t_prev
+        cache_get = self._cache.get
+        resolve = self._resolve
+
+        def tick(fn, _getattr=getattr):
+            t_now = perf_counter()  # repro: noqa[RD201] -- profiler accounting only
+            key = _getattr(fn, "__func__", fn)
+            entry = cache_get(key)
+            if entry is None:
+                entry = resolve(key)
+            entry[_CALLS] += 1
+            entry[_WALL] += t_now - t_prev[0]
+            t_prev[0] = t_now
+
+        return tick
+
+    def record(self, fn, dt: float) -> None:
+        """Attribute ``dt`` wall seconds (and one event) to ``fn``."""
+        key = getattr(fn, "__func__", fn)
+        entry = self._cache.get(key)
+        if entry is None:
+            entry = self._resolve(key)
+        entry[_CALLS] += 1
+        entry[_WALL] += dt
+
+    def _resolve(self, key) -> List[float]:
+        module = getattr(key, "__module__", None) or "?"
+        qualname = getattr(key, "__qualname__", None) or repr(key)
+        stats_key = (subsystem_of(module), module, qualname)
+        entry = self._stats.get(stats_key)
+        if entry is None:
+            entry = self._stats[stats_key] = [0, 0.0]
+        if len(self._cache) < CACHE_LIMIT:
+            self._cache[key] = entry
+        else:
+            self.cache_overflows += 1
+        return entry
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def events(self) -> int:
+        return int(sum(e[_CALLS] for e in self._stats.values()))
+
+    @property
+    def wall_s(self) -> float:
+        return sum(e[_WALL] for e in self._stats.values())
+
+    def handler_rows(self) -> List[Dict[str, object]]:
+        """Per-handler rows, hottest wall time first (count, then name,
+        break remaining ties — so rendering is stable)."""
+        rows = [
+            {
+                "subsystem": sub,
+                "module": mod,
+                "handler": qual,
+                "calls": int(entry[_CALLS]),
+                "wall_s": entry[_WALL],
+            }
+            for (sub, mod, qual), entry in self._stats.items()
+        ]
+        rows.sort(key=lambda r: (-r["wall_s"], -r["calls"], r["module"],
+                                 r["handler"]))
+        return rows
+
+    def subsystem_table(self) -> List[Dict[str, object]]:
+        """Per-subsystem calls/wall/share rows, hottest first."""
+        pooled: Dict[str, List[float]] = {}
+        for (sub, _mod, _qual), entry in self._stats.items():
+            agg = pooled.setdefault(sub, [0, 0.0])
+            agg[_CALLS] += entry[_CALLS]
+            agg[_WALL] += entry[_WALL]
+        total = sum(e[_WALL] for e in pooled.values()) or 1.0
+        rows = [
+            {
+                "subsystem": sub,
+                "calls": int(agg[_CALLS]),
+                "wall_s": agg[_WALL],
+                "share": agg[_WALL] / total,
+            }
+            for sub, agg in pooled.items()
+        ]
+        rows.sort(key=lambda r: (-r["wall_s"], -r["calls"], r["subsystem"]))
+        return rows
+
+    def collapsed_stacks(self) -> List[str]:
+        """Collapsed-stack flamegraph lines (value = integer microseconds).
+
+        Handlers whose wall time rounds to zero microseconds are kept
+        with value 0 so the event *count* story stays complete in the
+        file's companion column tools ignore. Lines are sorted so the
+        file is stable for a given stats table.
+        """
+        lines = [
+            f"sim;{sub};{mod};{qual} {int(round(entry[_WALL] * 1e6))}"
+            for (sub, mod, qual), entry in sorted(self._stats.items())
+        ]
+        return lines
+
+    def write_flamegraph(self, path: str) -> int:
+        """Write the collapsed stacks to ``path``; returns the line count."""
+        lines = self.collapsed_stacks()
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        return len(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "events": self.events,
+            "wall_s": self.wall_s,
+            "overhead_s": self.overhead_s,
+            "cache_overflows": self.cache_overflows,
+            "subsystems": self.subsystem_table(),
+            "handlers": self.handler_rows(),
+        }
+
+    def publish(self, metrics) -> None:
+        """Publish exact per-subsystem event counts as ``observe.*``
+        metrics (the namespace identity checks exclude); wall times stay
+        out of the registry entirely — wall clock never becomes a metric
+        a figure might read."""
+        for row in self.subsystem_table():
+            ctr = metrics.counter("observe.profile.events",
+                                  subsystem=row["subsystem"])
+            ctr.inc(row["calls"] - ctr.value)
+
+    def render(self, top: int = 12) -> str:
+        """Human-readable component table plus the hottest handlers."""
+        lines = [
+            f"{'subsystem':<12} {'events':>10} {'wall':>10} {'share':>7}",
+        ]
+        for row in self.subsystem_table():
+            lines.append(
+                f"{row['subsystem']:<12} {row['calls']:>10d} "
+                f"{row['wall_s'] * 1e3:>8.1f}ms {row['share'] * 100:>6.1f}%"
+            )
+        lines.append("")
+        lines.append(f"hottest handlers (top {top}):")
+        for row in self.handler_rows()[:top]:
+            lines.append(
+                f"  {row['wall_s'] * 1e3:>8.2f}ms {row['calls']:>9d}x  "
+                f"{row['module']}.{row['handler']}"
+            )
+        if self.overhead_s:
+            lines.append(f"observer overhead: {self.overhead_s * 1e3:.2f}ms "
+                         f"(drain time outside handlers)")
+        return "\n".join(lines)

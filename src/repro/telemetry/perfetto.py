@@ -13,7 +13,7 @@ pid    process     threads
 1      network     one per link *direction*, in first-seen order
 2      redplane    one per switch (requests, acks, leases, retransmits)
 3      store       one per store node (failover, chain repair)
-4      chaos       the fault-injection schedule
+4      chaos       "faults" (all inject/clear instants) and "health"
 =====  ==========  =====================================================
 
 Timestamps pass through natively: the trace-event ``ts``/``dur`` unit
@@ -58,8 +58,20 @@ _INSTANT_HOMES: Dict[str, Tuple[int, str, str]] = {
     tt.PACKET_REORDER: (PID_NETWORK, "dir", "wire"),
     tt.FAILOVER: (PID_STORE, "evicted", "coordinator"),
     tt.CHAIN_REPAIR: (PID_STORE, "node", "chain"),
-    tt.FAULT_INJECT: (PID_CHAOS, "target", "schedule"),
-    tt.FAULT_CLEAR: (PID_CHAOS, "target", "schedule"),
+}
+
+#: Instants pinned to one named track regardless of record fields:
+#: trace type -> (pid, thread name). All fault injections and clears
+#: land on a single "faults" track (the target stays in ``args``), so
+#: the chaos timeline reads as one lane instead of one lane per target;
+#: health detections get their own track beside it.
+_FIXED_TRACKS: Dict[str, Tuple[int, str]] = {
+    tt.FAULT_INJECT: (PID_CHAOS, "faults"),
+    tt.FAULT_CLEAR: (PID_CHAOS, "faults"),
+    tt.HEALTH_RESEND_STORM: (PID_CHAOS, "health"),
+    tt.HEALTH_QUEUE_GROWTH: (PID_CHAOS, "health"),
+    tt.HEALTH_SLO_BURN: (PID_CHAOS, "health"),
+    tt.HEALTH_WAL_STALL: (PID_CHAOS, "health"),
 }
 
 
@@ -155,11 +167,21 @@ def export_chrome_trace(
                 "tid": tid,
                 "args": args,
             })
-        elif record.type in _INSTANT_HOMES:
-            pid, thread_field, fallback = _INSTANT_HOMES[record.type]
-            tid = threads.tid(pid, str(fields.get(thread_field, fallback)))
+        elif record.type in _INSTANT_HOMES or record.type in _FIXED_TRACKS:
+            fixed = _FIXED_TRACKS.get(record.type)
+            if fixed is not None:
+                pid, thread_name = fixed
+            else:
+                pid, thread_field, fallback = _INSTANT_HOMES[record.type]
+                thread_name = str(fields.get(thread_field, fallback))
+            tid = threads.tid(pid, thread_name)
+            name = record.type
+            if fixed is not None and "target" in fields:
+                # "fault.inject agg1" reads better on a shared track
+                # than a bare type with the target buried in args.
+                name = f"{record.type} {fields['target']}"
             events.append({
-                "name": record.type,
+                "name": name,
                 "ph": "i",
                 "ts": record.ts,
                 "pid": pid,

@@ -76,6 +76,12 @@ TRACE_EVENTS: Dict[str, EventSpec] = {
     tt.STORE_RECOVER: _spec(("node", "records", "backend")),
     tt.FAULT_INJECT: _spec(("kind", "target", "detail")),
     tt.FAULT_CLEAR: _spec(("kind", "target", "detail")),
+    # Rolling health detectors (repro.observe.health) share one field
+    # contract: which detector fired, the observed value, the trip level.
+    tt.HEALTH_RESEND_STORM: _spec(("detector", "value", "threshold")),
+    tt.HEALTH_QUEUE_GROWTH: _spec(("detector", "value", "threshold")),
+    tt.HEALTH_SLO_BURN: _spec(("detector", "value", "threshold")),
+    tt.HEALTH_WAL_STALL: _spec(("detector", "value", "threshold")),
 }
 
 #: Span-opening type -> the terminal types that close it. Used by the
@@ -103,6 +109,8 @@ LABEL_DOMAINS: Dict[str, str] = {
     "host": "end hosts (fixed per testbed)",
     "shard": "store shards (fixed per deployment)",
     "scope": "fast-path invalidation scopes (fixed set, repro.fastpath)",
+    "detector": "health detector names (fixed set, repro.observe.health)",
+    "subsystem": "profiler subsystem names (fixed set, repro.observe)",
 }
 
 
@@ -167,6 +175,13 @@ METRICS: Tuple[MetricSpec, ...] = (
     _m("store.backend.netchain_register_bits", "gauge", "node"),
     _m("store.backend.*", "counter", "node"),
     _m("store.*", "counter", "node"),
+    # Observability layer (repro.observe): heartbeat/profiler/health
+    # accounting. The whole ``observe.*`` namespace is excluded from
+    # every bit-identity contract — it describes the run, it is not the
+    # run — so instruments here may exist in an observed run only.
+    _m("observe.heartbeats", "counter"),
+    _m("observe.health.detections", "counter", "detector"),
+    _m("observe.profile.events", "counter", "subsystem"),
 )
 
 #: Name patterns reachable through the flat legacy ``Simulator.count``

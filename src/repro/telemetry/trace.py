@@ -33,6 +33,8 @@ type                   emitted when
 ``store.recover``      a crashed store rebuilds records from its backend
 ``fault.inject``       a chaos/failure schedule applies an injected fault
 ``fault.clear``        an injected fault is lifted
+``health.*``           a rolling health detector trips over the heartbeat
+                       stream (see :mod:`repro.observe.health`)
 =====================  ====================================================
 """
 
@@ -61,6 +63,10 @@ CHAIN_REPAIR = "chain.repair"
 STORE_RECOVER = "store.recover"
 FAULT_INJECT = "fault.inject"
 FAULT_CLEAR = "fault.clear"
+HEALTH_RESEND_STORM = "health.resend_storm"
+HEALTH_QUEUE_GROWTH = "health.queue_growth"
+HEALTH_SLO_BURN = "health.slo_burn"
+HEALTH_WAL_STALL = "health.wal_stall"
 
 
 @dataclass(slots=True)

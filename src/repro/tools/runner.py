@@ -15,6 +15,9 @@ Usage::
     python -m repro.tools chaos gray_link   # one chaos campaign + verdict
     python -m repro.tools fastpath          # fast-path cache statistics
     python -m repro.tools fastpath --diff   # on/off A/B identity + speedup
+    python -m repro.tools profile gray_link --flame f.txt  # self-profiler
+    python -m repro.tools watch hb.ndjson -f  # live campaign health console
+    python -m repro.tools bench --record --check  # perf-trajectory gate
 
 Each experiment is a pytest benchmark under ``benchmarks/``; the runner
 invokes pytest with the right selection so the printed rows land on
@@ -272,7 +275,8 @@ def run_fastpath(flows: int, packets: int, seed: int, scheduler: str,
 
 
 def demo_run(seed: int = 7, packets: int = 10, fail_owner: bool = True,
-             trace_path: Optional[str] = None):
+             trace_path: Optional[str] = None, profile: bool = False,
+             heartbeat_path: Optional[str] = None):
     """Run the quickstart scenario in-process; returns the simulator.
 
     Deploys :class:`~repro.apps.counter.SyncCounterApp` on the paper
@@ -282,6 +286,10 @@ def demo_run(seed: int = 7, packets: int = 10, fail_owner: bool = True,
     a representative population of counters, gauges, and histograms.
     ``trace_path`` streams the full record stream to a JSONL sink (the
     ring can truncate; the sink cannot).
+
+    ``profile``/``heartbeat_path`` attach the :mod:`repro.observe` layer
+    for the run; the bundle stays attached on return (``sim.observe``) so
+    the caller can read it — close and detach it when done.
     """
     from repro import Simulator, deploy
     from repro.apps.counter import SyncCounterApp
@@ -291,6 +299,11 @@ def demo_run(seed: int = 7, packets: int = 10, fail_owner: bool = True,
     if trace_path is not None:
         sim.tracer.open_sink(trace_path)
     dep = deploy(sim, SyncCounterApp)
+    if profile or heartbeat_path:
+        from repro.observe import attach
+
+        attach(sim, profile=profile, heartbeat_path=heartbeat_path,
+               links=list(dep.bed.topology.links))
     sender = dep.bed.externals[0]
     receiver = dep.bed.servers[0]
 
@@ -317,17 +330,64 @@ def demo_run(seed: int = 7, packets: int = 10, fail_owner: bool = True,
     return sim
 
 
-def show_metrics(seed: int, packets: int, as_json: bool) -> int:
+def _filter_snapshot(snap: Dict[str, Dict[str, object]],
+                     pattern: str) -> Dict[str, Dict[str, object]]:
+    """Keep metrics whose name (with or without labels) matches the glob."""
+    import fnmatch
+
+    def keep(ident: str) -> bool:
+        return (fnmatch.fnmatchcase(ident, pattern)
+                or fnmatch.fnmatchcase(ident.split("{", 1)[0], pattern))
+
+    return {section: {k: v for k, v in entries.items() if keep(k)}
+            for section, entries in snap.items()}
+
+
+def show_metrics(seed: int, packets: int, as_json: bool,
+                 pattern: Optional[str] = None, fmt: str = "table") -> int:
+    import csv
+
     sim = demo_run(seed=seed, packets=packets)
+    snap = sim.metrics.snapshot()
+    if pattern:
+        snap = _filter_snapshot(snap, pattern)
     if as_json:
-        print(json.dumps(sim.metrics.snapshot(), indent=2, sort_keys=True))
+        print(json.dumps(snap, indent=2, sort_keys=True))
+        return 0
+    if fmt == "csv":
+        writer = csv.writer(sys.stdout, lineterminator="\n")
+        writer.writerow(["section", "metric", "field", "value"])
+        for section in ("counters", "gauges", "histograms"):
+            for ident, value in snap[section].items():
+                if isinstance(value, dict):
+                    for field in sorted(value):
+                        writer.writerow([section, ident, field,
+                                         f"{value[field]:g}"])
+                else:
+                    writer.writerow([section, ident, "value", f"{value:g}"])
+        return 0
+    if pattern:
+        # Render only the filtered keys: rebuild the sections by hand
+        # (MetricRegistry.render reads the live registry).
+        lines = []
+        for section in ("counters", "gauges", "histograms"):
+            entries = snap[section]
+            lines.append(f"{section} ({len(entries)}):")
+            for ident, value in entries.items():
+                if isinstance(value, dict):
+                    detail = "  ".join(f"{k}={v:.2f}"
+                                       for k, v in value.items())
+                    lines.append(f"  {ident}  {detail}")
+                else:
+                    lines.append(f"  {ident} = {value:g}")
+        print("\n".join(lines))
     else:
         print(sim.metrics.render())
     return 0
 
 
 def show_trace(seed: int, packets: int, tail: int, as_json: bool,
-               out: Optional[str]) -> int:
+               out: Optional[str], since: Optional[float] = None) -> int:
     sim = demo_run(seed=seed, packets=packets)
     if out:
         written = sim.tracer.flush_to(out)
@@ -335,7 +395,8 @@ def show_trace(seed: int, packets: int, tail: int, as_json: bool,
     emitted = sim.tracer.records_emitted
     retained = len(sim.tracer)
     print(f"# {emitted} records emitted, {retained} retained "
-          f"(ring maxlen {sim.tracer.maxlen}); showing last {tail}",
+          f"(ring maxlen {sim.tracer.maxlen}); showing last {tail}"
+          + (f" at/after t={since:g}us" if since is not None else ""),
           file=sys.stderr)
     dropped = sim.tracer.records_dropped
     if dropped:
@@ -343,7 +404,11 @@ def show_trace(seed: int, packets: int, tail: int, as_json: bool,
               f"reconstruction over this trace will report orphans — "
               f"use a JSONL sink for complete lifecycles",
               file=sys.stderr)
-    for record in sim.tracer.tail(tail):
+    records = sim.tracer.tail(len(sim.tracer)) if since is not None \
+        else sim.tracer.tail(tail)
+    if since is not None:
+        records = [r for r in records if r.ts >= since][-tail:]
+    for record in records:
         if as_json:
             print(record.to_json())
         else:
@@ -481,6 +546,85 @@ def run_chaos(campaign: Optional[str], seed: int, as_json: bool,
     return 0 if report["verdict"] == "PASS" else 1
 
 
+def run_profile(name: str, seed: int, packets: int, flame: Optional[str],
+                heartbeat: Optional[str], as_json: bool,
+                top: int = 12) -> int:
+    """Profile the quickstart scenario or a chaos campaign.
+
+    Runs with the :mod:`repro.observe` self-profiler attached, prints
+    the per-subsystem table and hottest handlers, and optionally writes
+    a collapsed-stack flamegraph (``--flame``, Brendan Gregg format —
+    feed to flamegraph.pl or speedscope) and a heartbeat NDJSON stream
+    (``--heartbeat``, view with ``repro.tools watch``).
+    """
+    from repro.observe import ObserveOptions
+
+    if name == "quickstart":
+        sim = demo_run(seed=seed, packets=packets, profile=True,
+                       heartbeat_path=heartbeat)
+        bundle = sim.observe
+        bundle.profiler.publish(sim.metrics)
+        bundle.close()
+        sim.detach_observe()
+    else:
+        from repro.chaos.campaigns import CAMPAIGNS
+        from repro.chaos.runner import run_campaign_result
+
+        if name not in CAMPAIGNS:
+            known = ", ".join(["quickstart"] + sorted(CAMPAIGNS))
+            print(f"unknown profile target {name!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+        result = run_campaign_result(
+            CAMPAIGNS[name], seed=seed,
+            observe=ObserveOptions(profile=True,
+                                   heartbeat=heartbeat is not None,
+                                   heartbeat_path=heartbeat))
+        bundle = result.observe
+    profiler = bundle.profiler
+    if flame:
+        profiler.write_flamegraph(flame)
+        print(f"wrote {len(profiler.collapsed_stacks())} collapsed stacks "
+              f"to {flame}", file=sys.stderr)
+    if heartbeat:
+        print(f"wrote {len(bundle.heartbeat.snapshots)} heartbeats to "
+              f"{heartbeat} (view with: python -m repro.tools watch "
+              f"{heartbeat})", file=sys.stderr)
+    if as_json:
+        print(json.dumps(profiler.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(profiler.render(top=top))
+    return 0
+
+
+def run_watch(path: str, follow: bool,
+              max_lines: Optional[int]) -> int:
+    """Tail/render a heartbeat NDJSON file (``repro.tools watch``)."""
+    from repro.observe.console import watch
+
+    return watch(path, follow=follow, max_lines=max_lines)
+
+
+def run_bench_trajectory(record: bool, gate: bool,
+                         path: Optional[str]) -> int:
+    """``repro.tools bench --record/--check``: the perf-trajectory spine."""
+    from repro.observe import trajectory
+
+    report = trajectory.record_and_check(
+        path=path or trajectory.DEFAULT_PATH,
+        record=record, gate=gate)
+    for entry in report["entries"]:
+        print(f"measured   : {entry['bench']:<12} "
+              f"{entry['throughput']:>10.1f} {entry['unit']} "
+              f"(normalized {entry['normalized']:.6f})")
+    if gate:
+        print(trajectory.render_check(report))
+    if record:
+        print(f"recorded   : {len(report['entries'])} entries -> "
+              f"{path or trajectory.DEFAULT_PATH}", file=sys.stderr)
+    return 0 if report["ok"] else 1
+
+
 def run_fuzz_cli(args: "argparse.Namespace") -> int:
     """Dispatch ``repro.tools fuzz run|self-check|shrink|replay``."""
     from repro.chaos.fuzz import (
@@ -603,10 +747,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench_parser = sub.add_parser(
         "bench", help="rerun one experiment and diff its tables against "
                       "the committed bench_results.txt/EXPERIMENTS.md "
-                      "values; nonzero exit on drift")
-    bench_parser.add_argument("experiment",
+                      "values (nonzero exit on drift); or --record/--check "
+                      "the wall-clock perf trajectory")
+    bench_parser.add_argument("experiment", nargs="?",
                               help="fig8..fig15, table1, table2, appc, "
-                                   "or ablation-*")
+                                   "or ablation-* (omit with "
+                                   "--record/--check)")
+    bench_parser.add_argument("--record", action="store_true",
+                              help="measure the committed perf figures and "
+                                   "append normalized entries to "
+                                   "BENCH_TRAJECTORY.json")
+    bench_parser.add_argument("--check", action="store_true",
+                              help="gate the fresh measurement against the "
+                                   "last committed trajectory entry; "
+                                   "nonzero exit on >20%% normalized "
+                                   "throughput regression")
+    bench_parser.add_argument("--trajectory", metavar="PATH",
+                              help="trajectory file (default: "
+                                   "BENCH_TRAJECTORY.json at the repo root)")
     fastpath_parser = sub.add_parser(
         "fastpath", help="run the NAT steady-state scenario with the "
                          "fast path and print cache statistics")
@@ -636,10 +794,50 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="packets per phase (default 10)")
         p.add_argument("--json", action="store_true",
                        help="machine-readable output")
+    metrics_parser.add_argument("--filter", metavar="GLOB", dest="pattern",
+                                help="only metrics matching this glob "
+                                     "(matched against the bare name and "
+                                     "the name{labels} form)")
+    metrics_parser.add_argument("--format", default="table",
+                                choices=("table", "csv"),
+                                help="output format (default table)")
     trace_parser.add_argument("--tail", type=int, default=40,
                               help="records to print (default 40)")
     trace_parser.add_argument("--out", metavar="PATH",
                               help="also write the retained records as JSONL")
+    trace_parser.add_argument("--since", type=float, metavar="T_US",
+                              help="only records at/after this simulated "
+                                   "time (microseconds)")
+    profile_parser = sub.add_parser(
+        "profile", help="run a campaign (or 'quickstart') with the "
+                        "deterministic self-profiler and print per-"
+                        "subsystem wall-time attribution")
+    profile_parser.add_argument("target",
+                                help="'quickstart' or a chaos campaign name")
+    profile_parser.add_argument("--seed", type=int, default=7,
+                                help="simulator seed (default 7)")
+    profile_parser.add_argument("--packets", type=int, default=10,
+                                help="quickstart packets per phase "
+                                     "(default 10)")
+    profile_parser.add_argument("--flame", metavar="PATH",
+                                help="write a collapsed-stack flamegraph "
+                                     "(flamegraph.pl / speedscope format)")
+    profile_parser.add_argument("--heartbeat", metavar="PATH",
+                                help="also stream NDJSON health heartbeats "
+                                     "to PATH (view with 'watch')")
+    profile_parser.add_argument("--top", type=int, default=12,
+                                help="hottest handlers to list (default 12)")
+    profile_parser.add_argument("--json", action="store_true",
+                                help="machine-readable profile")
+    watch_parser = sub.add_parser(
+        "watch", help="render a campaign's heartbeat NDJSON stream as a "
+                      "live health console")
+    watch_parser.add_argument("file", help="heartbeat NDJSON file "
+                                           "(see profile --heartbeat)")
+    watch_parser.add_argument("-f", "--follow", action="store_true",
+                              help="keep tailing as the file grows")
+    watch_parser.add_argument("--max-lines", type=int, dest="max_lines",
+                              help="stop after N snapshots")
     spans_parser = sub.add_parser(
         "spans", help="run the quickstart scenario and verify packet-span "
                       "completeness + RTT attribution")
@@ -778,10 +976,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{key.ljust(width)}  {description}")
         return 0
     if args.command == "metrics":
-        return show_metrics(args.seed, args.packets, args.json)
+        return show_metrics(args.seed, args.packets, args.json,
+                            args.pattern, args.format)
     if args.command == "trace":
         return show_trace(args.seed, args.packets, args.tail, args.json,
-                          args.out)
+                          args.out, args.since)
+    if args.command == "profile":
+        return run_profile(args.target, args.seed, args.packets,
+                           args.flame, args.heartbeat, args.json, args.top)
+    if args.command == "watch":
+        return run_watch(args.file, args.follow, args.max_lines)
     if args.command == "spans":
         return show_spans(args.seed, args.packets, args.json)
     if args.command == "timeline":
@@ -799,6 +1003,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "fuzz":
         return run_fuzz_cli(args)
     if args.command == "bench":
+        if args.record or args.check:
+            return run_bench_trajectory(args.record, args.check,
+                                        args.trajectory)
+        if args.experiment is None:
+            print("bench: give an experiment name, or --record/--check "
+                  "for the perf trajectory", file=sys.stderr)
+            return 2
         return run_bench_diff(args.experiment)
     if args.command == "fastpath":
         return run_fastpath(args.flows, args.packets, args.seed,

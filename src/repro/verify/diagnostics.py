@@ -177,11 +177,23 @@ class Report:
         self.diagnostics.extend(other.diagnostics)
         self.analyzed.update(other.analyzed)
 
-    def finalize_suppressions(self, suppressions: SuppressionIndex) -> None:
+    def finalize_suppressions(
+        self,
+        suppressions: SuppressionIndex,
+        rules: Optional[Tuple[str, ...]] = None,
+    ) -> None:
         """File QA001/QA002 for bad or unused noqa comments.
 
-        Call once per pass, after the pass has produced every diagnostic
-        its file set can yield.
+        Call once, after every pass that shares ``suppressions`` has
+        produced every diagnostic its file set can yield. ``rules``
+        restricts the unused-suppression check (QA002) to suppressions
+        of rule ids with one of the given prefixes (e.g. ``("RT",)``
+        when only the telemetry pass ran): a pass that merely *scanned*
+        a file cannot know whether another pass's suppression in it is
+        earning its keep, so standalone pass runs must not flag
+        suppressions outside their own rule family. QA001 (used but
+        unjustified) needs no such filter — a used suppression matched
+        a diagnostic some running pass produced.
         """
         for supp in suppressions.all():
             if supp.used and not supp.justification:
@@ -192,6 +204,10 @@ class Report:
                     supp.file, supp.line,
                 ))
             elif not supp.used:
+                if rules is not None and not any(
+                    r.startswith(rules) for r in supp.rules
+                ):
+                    continue
                 self.diagnostics.append(Diagnostic(
                     "QA002", Severity.WARNING,
                     f"suppression of {','.join(supp.rules)} matched no "

@@ -364,6 +364,37 @@ class FailureSchedule:
                     f"undo: recover-before-fail ordering"
                 )
 
+    def active_at(self, t_us: float) -> List[InjectedFault]:
+        """The injected faults still in effect at simulated time ``t_us``.
+
+        A fault is active once its injection time has passed and no
+        later matching clear (same target, a kind ``_CLEAR_MATCHES``
+        maps onto it) has fired by ``t_us``. Pure function of the
+        schedule — the observability heartbeat reports its length as
+        ``faults_active``, so it must never read live topology state.
+        """
+        active: List[InjectedFault] = []
+        for fault in sorted(self.log, key=lambda f: (f.time_us, f.kind,
+                                                     f.target)):
+            if fault.time_us > t_us:
+                break
+            matches = _CLEAR_MATCHES.get(fault.kind)
+            if matches is None:
+                active.append(fault)
+                continue
+            for i in range(len(active) - 1, -1, -1):
+                prior = active[i]
+                if prior.kind in matches and prior.target == fault.target:
+                    del active[i]
+                    break
+        return active
+
+    def stores_down_at(self, t_us: float) -> int:
+        """How many store nodes are hard-crashed (lost DRAM, backend not
+        yet recovered) at ``t_us`` — the WAL-stall detector's input."""
+        return sum(1 for f in self.active_at(t_us)
+                   if f.kind == "crash_store")
+
     # -- reporting ------------------------------------------------------------
 
     def summary(self) -> List[Tuple[float, str, str]]:

@@ -402,7 +402,10 @@ def test_builtin_app_verifies_clean(name):
         report=report,
         suppressions=supp,
     )
-    report.finalize_suppressions(supp)
+    # Standalone pass run: restrict QA002 to pipeline rules — the pass
+    # walks live code into files (the simulator, say) whose suppressions
+    # belong to other passes.
+    report.finalize_suppressions(supp, rules=("RP",))
     unsuppressed = report.active()
     assert unsuppressed == [], "\n".join(d.render() for d in unsuppressed)
 
