@@ -58,6 +58,15 @@ class SequencerApp(InSwitchApp):
     #: The group id lives in the payload, so the partition decision
     #: depends on packet bytes, not just headers (RP141).
     partition_inputs = "packet"
+    #: The sequence counter orders requests from *many* client flows of a
+    #: group; shard-local counters would hand out duplicate stamps
+    #: (verify pass 5, RS4xx).
+    shard_class = "global"
+    shard_reason = (
+        "a group's sequence counter is a cross-flow ordering contract: "
+        "every client flow of the group increments the same counter, and "
+        "NOPaxos-style ordering breaks if two shards stamp independently"
+    )
 
     def __init__(self, service_ip: int = SEQUENCER_IP) -> None:
         self.service_ip = service_ip

@@ -41,6 +41,15 @@ class SuperSpreaderApp(InSwitchApp):
 
     name = "superspreader"
     state_spec = StateSpec.of()  # all state lives in lazy-snapshot arrays
+    #: Bloom membership bits and spread counters are hash-indexed over
+    #: (src, dst) pairs under a single constant store key: every flow
+    #: shares them (verify pass 5, RS4xx).
+    shard_class = "global"
+    shard_reason = (
+        "Bloom membership and per-source spread counters aggregate over "
+        "all (src, dst) pairs; any two flows may collide in both "
+        "structures"
+    )
 
     def __init__(self, threshold: int = 32, membership_bits: int = 512,
                  spread_slots: int = 128, hash_rows: int = 2) -> None:

@@ -55,6 +55,18 @@ class InSwitchApp:
     #: that depend on mutable app state).
     partition_inputs: Optional[str] = "flow"
 
+    #: Declared partition class for the sharded runner, one of
+    #: ``"flow_local"`` / ``"flow_hash"`` / ``"global"`` — or ``None`` to
+    #: accept what the partition analyzer (verify pass 5, RS4xx) infers.
+    #: A declaration may only *relax* the inferred class (an app whose
+    #: state two flows can touch declares ``"global"``); declaring a
+    #: tighter class than inference proves is an RS402 error.
+    shard_class: Optional[str] = None
+
+    #: Mandatory for ``shard_class = "global"`` (RS403): why the state is
+    #: genuinely cross-flow, recorded verbatim in the shard plan.
+    shard_reason: Optional[str] = None
+
     def partition_key(self, pkt: Packet) -> Optional[FlowKey]:
         """The state-partition key for this packet.
 

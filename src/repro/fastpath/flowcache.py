@@ -35,26 +35,48 @@ composition version, so inserting a block flushes everything.
 
 from __future__ import annotations
 
+from typing import FrozenSet, NamedTuple
+
 from repro.switch.pipeline import PipelineContext, Verdict
 
+
+class EntryDep(NamedTuple):
+    """The static contract of one cache-entry kind.
+
+    ``scopes`` is the invalidation dependency set (which bus scopes kill
+    the entry); ``partition_class`` is the cohort-safety class consumed by
+    the partition analyzer (verify pass 5, RS406) and by fastpath v2's
+    cohort replay: ``"flow_local"`` entries depend only on their own
+    flow's inputs and may replay inside any per-flow shard cohort, while
+    ``"app_keyed"`` entries inherit the deployed application's class from
+    its shard plan (``shard_plans/<app>.json``).
+    """
+
+    scopes: FrozenSet[str]
+    partition_class: str
+
+
 #: Scopes each entry kind depends on — the "dependency set" column of the
-#: invalidation matrix in docs/PERFORMANCE.md. RP142 checks that every
-#: entry kind constructed below is declared here.
+#: invalidation matrix in docs/PERFORMANCE.md — plus its partition class.
+#: RP142 checks that every entry kind constructed below is declared here;
+#: RS406 checks every row carries a valid partition class.
 ENTRY_DEPS = {
     # Classification only: depends on the protocol port set (static) and
     # the pipeline composition; flushed conservatively on table/chaos
     # churn because transit accounting mirrors the engine's position in
     # the pipeline.
-    "transit": frozenset({"table", "chaos"}),
+    "transit": EntryDep(frozenset({"table", "chaos"}), "flow_local"),
     # partition_key(pkt) is None: pure per signature, but flushed with
     # the rest of the cache so a reconfigured app re-decides.
-    "bypass": frozenset({"table", "chaos"}),
+    "bypass": EntryDep(frozenset({"table", "chaos"}), "flow_local"),
     # Application flow: partition key (pure per signature) + flow-table
     # index (pinned until lease reclamation / migration / snapshot churn
     # publishes). NOT ``register``: replay reads register values live,
     # so control-plane state installs for one flow must not flush the
     # entries of every other flow.
-    "app": frozenset({"table", "lease", "snapshot", "chaos"}),
+    "app": EntryDep(
+        frozenset({"table", "lease", "snapshot", "chaos"}), "app_keyed"
+    ),
 }
 
 #: Attributes/methods the ``replay_*`` functions may touch — the
@@ -88,7 +110,12 @@ class Entry:
     @property
     def deps(self):
         """The entry's declared dependency scopes."""
-        return ENTRY_DEPS[self.kind]
+        return ENTRY_DEPS[self.kind].scopes
+
+    @property
+    def partition_class(self):
+        """The entry's cohort-safety partition class (see EntryDep)."""
+        return ENTRY_DEPS[self.kind].partition_class
 
 
 def replay_transit(switch, pkt, ip):

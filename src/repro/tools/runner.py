@@ -882,6 +882,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                                help="also write the JSON report here")
     verify_parser.add_argument("--strict", action="store_true",
                                help="fail on warnings too, not just errors")
+    verify_parser.add_argument("--rule", metavar="ID[,ID]", dest="rules",
+                               help="report only these rule ids (plus "
+                                    "QA001/QA002 suppression hygiene)")
+    verify_parser.add_argument("--baseline", metavar="PATH", nargs="?",
+                               const="", dest="baseline",
+                               help="fail only on per-rule count "
+                                    "regressions vs this baseline "
+                                    "(default: verify_baseline.json)")
+    verify_parser.add_argument("--write-baseline", metavar="PATH",
+                               nargs="?", const="", dest="write_baseline",
+                               help="snapshot current per-rule counts "
+                                    "(default: verify_baseline.json)")
+    verify_parser.add_argument("--plan", action="store_true",
+                               dest="show_plans",
+                               help="render the per-app shard plans the "
+                                    "partition pass computed")
+    verify_parser.add_argument("--emit-plans", metavar="DIR",
+                               dest="emit_plans",
+                               help="write canonical shard_plan JSON for "
+                                    "every analyzed app into DIR")
     chaos_parser = sub.add_parser(
         "chaos", help="run a fault-injection campaign with invariant "
                       "auditing and print its verdict report")
@@ -992,10 +1012,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         return show_timeline(args.flow, args.seed, args.packets, args.out,
                              args.validate, args.list_flows)
     if args.command == "verify":
-        from repro.verify.cli import run_verify
+        from repro.verify.cli import default_baseline_path, run_verify
 
+        baseline = args.baseline
+        if baseline == "":
+            baseline = default_baseline_path()
+        write_baseline = args.write_baseline
+        if write_baseline == "":
+            write_baseline = default_baseline_path()
         return run_verify(args.paths, args.all_targets, args.app,
-                          args.json, args.out, args.strict)
+                          args.json, args.out, args.strict,
+                          rules=args.rules, baseline=baseline,
+                          write_baseline=write_baseline,
+                          show_plans=args.show_plans,
+                          emit_plans=args.emit_plans)
     if args.command == "chaos":
         return run_chaos(args.campaign, args.seed, args.json, args.out,
                          args.check_determinism, args.list_campaigns,

@@ -1,6 +1,6 @@
 """``repro.verify`` — P4-compiler-style static analysis for the reproduction.
 
-Three coordinated passes over the code and the configured artifacts,
+Five coordinated passes over the code and the configured artifacts,
 sharing one diagnostic engine (rule ids, severities, source locations,
 JSON + human rendering, ``# repro: noqa[RULE]`` suppressions):
 
@@ -21,9 +21,18 @@ JSON + human rendering, ``# repro: noqa[RULE]`` suppressions):
   :mod:`repro.telemetry.schema` (names, label sets, cardinality bounds,
   span open/close pairing) so the spans-completeness guarantee is checked
   statically, not only empirically.
+* **fastpath** (:mod:`repro.verify.fastpath_pass`) — proves the flow
+  cache's bit-identical-replay contract: replay functions stay inside
+  :data:`repro.fastpath.flowcache.REPLAY_EFFECTS`, partition inputs are
+  declared, entry kinds carry dependency scopes (RP14x).
+* **partition** (:mod:`repro.verify.partition_pass`) — classifies every
+  piece of per-app switch state as flow-local, flow-hash-partitionable,
+  or global on the partition-class lattice; emits a machine-checked
+  shard plan per app (``shard_plans/``) plus Python-level shard-hazard
+  lints (RS4xx).
 
 ``python -m repro.tools verify --all`` runs everything; the CI ``verify``
-job gates on it.
+job gates on it with ``--baseline`` and archives the shard plans.
 """
 
 from repro.verify.diagnostics import (
@@ -36,6 +45,12 @@ from repro.verify.rules import RULES, Rule, rule
 from repro.verify.pipeline_pass import verify_asic, verify_app
 from repro.verify.determinism_pass import verify_determinism
 from repro.verify.telemetry_pass import verify_telemetry
+from repro.verify.partition_pass import (
+    plan_json,
+    render_plan,
+    verify_partition_app,
+    verify_shard_hazards,
+)
 
 __all__ = [
     "Diagnostic",
@@ -49,4 +64,8 @@ __all__ = [
     "verify_app",
     "verify_determinism",
     "verify_telemetry",
+    "verify_partition_app",
+    "verify_shard_hazards",
+    "plan_json",
+    "render_plan",
 ]

@@ -1,26 +1,44 @@
 """The ``repro.tools verify`` entry point.
 
-Runs the three passes with one shared suppression index and one report,
+Runs the five passes with one shared suppression index and one report,
 so a single ``# repro: noqa[...]`` grammar covers all rule families and
 unused suppressions are judged once, after every pass has spoken.
 
-Tree lints (determinism, telemetry) take file/directory paths; the
-pipeline verifier needs *deployed programs*, so it runs over the builtin
-application registry (``--all`` / ``--app NAME``), deploying each app on
-a fresh simulated testbed exactly as the experiments do and analyzing
-the resulting switch.
+Tree lints (determinism, telemetry, fastpath, shard hazards) take
+file/directory paths; the pipeline and partition verifiers need
+*deployed programs*, so they run over the builtin application registry
+(``--all`` / ``--app NAME``), deploying each app on a fresh simulated
+testbed exactly as the experiments do and analyzing the resulting
+switch.
+
+The partition pass additionally produces one shard plan per analyzed
+app. ``--plan`` renders the plans, ``--emit-plans DIR`` writes their
+canonical JSON, and RS408 reports drift between freshly computed plans
+and the committed ``shard_plans/`` artifacts.
+
+``--baseline`` compares per-rule active-diagnostic counts against a
+committed ``verify_baseline.json`` and fails only on *regressions*
+(counts above the baseline), so CI can gate on "no new findings"
+while a cleanup burns existing ones down.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.verify.determinism_pass import verify_determinism
-from repro.verify.diagnostics import Report, SuppressionIndex
+from repro.verify.diagnostics import (
+    Diagnostic, Report, Severity, SuppressionIndex,
+)
 from repro.verify.fastpath_pass import verify_fastpath
+from repro.verify.partition_pass import (
+    plan_json, render_plan, verify_partition_app, verify_shard_hazards,
+)
 from repro.verify.pipeline_pass import verify_app, verify_netchain
+from repro.verify.rules import RULES
 from repro.verify.telemetry_pass import verify_telemetry
 
 
@@ -35,6 +53,76 @@ def repo_root() -> str:
     return os.path.normpath(os.path.join(source_root(), ".."))
 
 
+def default_baseline_path() -> str:
+    return os.path.join(repo_root(), "verify_baseline.json")
+
+
+def shard_plan_dir() -> str:
+    """Where the committed per-app shard plans live."""
+    return os.path.join(repo_root(), "shard_plans")
+
+
+def rule_counts(report: Report) -> Dict[str, int]:
+    """Active (unsuppressed) diagnostics per rule id, for baselines."""
+    counts: Dict[str, int] = {}
+    for diag in report.active():
+        counts[diag.rule] = counts.get(diag.rule, 0) + 1
+    return counts
+
+
+def baseline_regressions(
+    counts: Dict[str, int], baseline: Dict[str, int]
+) -> Dict[str, Dict[str, int]]:
+    """Rules whose active count exceeds the baselined count.
+
+    Rules absent from the baseline count as baselined at zero, so a
+    brand-new finding is always a regression; counts at or below the
+    baseline (including rules fixed since) never fail.
+    """
+    out: Dict[str, Dict[str, int]] = {}
+    for rule, count in sorted(counts.items()):
+        allowed = int(baseline.get(rule, 0))
+        if count > allowed:
+            out[rule] = {"count": count, "baseline": allowed}
+    return out
+
+
+def _check_plan_drift(
+    plans: Dict[str, dict],
+    report: Report,
+    supp: SuppressionIndex,
+    root: str,
+) -> None:
+    """RS408: freshly computed plans must match the committed artifacts.
+
+    Only runs when the committed ``shard_plans/`` directory exists, so a
+    fresh checkout that has never emitted plans is not spammed; once the
+    directory is committed, every analyzed app must have an up-to-date
+    plan in it.
+    """
+    plan_dir = shard_plan_dir()
+    if not os.path.isdir(plan_dir):
+        return
+    for name in sorted(plans):
+        path = os.path.join(plan_dir, f"{name}.json")
+        rel = os.path.relpath(path, root)
+        fresh = plan_json(plans[name])
+        try:
+            with open(path, encoding="utf-8") as fh:
+                committed = fh.read()
+        except OSError:
+            committed = None
+        if committed == fresh:
+            continue
+        what = "missing" if committed is None else "stale"
+        report.add(Diagnostic(
+            "RS408", Severity.ERROR,
+            f"committed shard plan for app {name!r} is {what}; "
+            "regenerate with 'verify --all --emit-plans shard_plans'",
+            rel, 1, site=f"app={name}",
+        ), suppressions=supp)
+
+
 def run_verify(
     paths: Optional[List[str]] = None,
     all_targets: bool = False,
@@ -42,12 +130,29 @@ def run_verify(
     as_json: bool = False,
     out: Optional[str] = None,
     strict: bool = False,
+    rules: Optional[str] = None,
+    baseline: Optional[str] = None,
+    write_baseline: Optional[str] = None,
+    show_plans: bool = False,
+    emit_plans: Optional[str] = None,
 ) -> int:
     from repro.apps import BUILTIN_APPS
 
     root = repo_root()
     report = Report()
     supp = SuppressionIndex()
+
+    wanted: Optional[List[str]] = None
+    if rules:
+        wanted = sorted({r.strip() for r in rules.split(",") if r.strip()})
+        unknown = [r for r in wanted if r not in RULES]
+        if unknown:
+            print(
+                f"unknown rule id(s): {', '.join(unknown)}; see "
+                "docs/VERIFY.md for the rule tables",
+                file=sys.stderr,
+            )
+            return 2
 
     if app == "netchain":
         apps = {}
@@ -70,6 +175,7 @@ def run_verify(
     if all_targets or not paths:
         lint_paths.append(os.path.join(source_root(), "repro"))
 
+    plans: Dict[str, dict] = {}
     for name in sorted(apps):
         spec = apps[name]
         verify_app(
@@ -80,6 +186,15 @@ def run_verify(
             suppressions=supp,
             root=root,
         )
+        _, plan = verify_partition_app(
+            spec["factory"],
+            label=name,
+            structures=spec.get("structures"),
+            report=report,
+            suppressions=supp,
+            root=root,
+        )
+        plans[name] = plan
     # The NetChain in-switch store is a deployable switch program too:
     # verify its ToR pipeline whenever the full app registry is verified.
     if app == "netchain" or (app is None and (all_targets or not paths)):
@@ -94,11 +209,67 @@ def run_verify(
         verify_fastpath(
             lint_paths, report=report, suppressions=supp, root=root
         )
-    report.finalize_suppressions(supp)
+        verify_shard_hazards(
+            lint_paths, report=report, suppressions=supp, root=root
+        )
+
+    if emit_plans:
+        os.makedirs(emit_plans, exist_ok=True)
+        for name in sorted(plans):
+            path = os.path.join(emit_plans, f"{name}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(plan_json(plans[name]))
+        print(
+            f"wrote {len(plans)} shard plan(s) to {emit_plans}",
+            file=sys.stderr,
+        )
+    else:
+        _check_plan_drift(plans, report, supp, root)
+
+    if wanted is not None:
+        report.finalize_suppressions(supp, rules=tuple(wanted))
+        keep = set(wanted) | {"QA001", "QA002"}
+        report.diagnostics = [
+            d for d in report.diagnostics if d.rule in keep
+        ]
+    else:
+        report.finalize_suppressions(supp)
+
+    if write_baseline:
+        doc = {"format": 1, "rule_counts": rule_counts(report)}
+        with open(write_baseline, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote verify baseline to {write_baseline}", file=sys.stderr)
 
     if out:
         with open(out, "w", encoding="utf-8") as fh:
             fh.write(report.to_json() + "\n")
         print(f"wrote verify report to {out}", file=sys.stderr)
+    if show_plans and plans:
+        for name in sorted(plans):
+            print(render_plan(plans[name]))
+            print()
     print(report.to_json() if as_json else report.render())
+
+    if baseline:
+        try:
+            with open(baseline, encoding="utf-8") as fh:
+                base_counts = json.load(fh).get("rule_counts", {})
+        except OSError as exc:
+            print(f"cannot read baseline {baseline}: {exc}", file=sys.stderr)
+            return 2
+        regressions = baseline_regressions(rule_counts(report), base_counts)
+        if regressions:
+            for rule, info in regressions.items():
+                print(
+                    f"baseline regression: {rule} has {info['count']} "
+                    f"active finding(s), baseline allows {info['baseline']}",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            "baseline check passed: no rule above its baselined count",
+            file=sys.stderr,
+        )
+        return 0
     return report.exit_code(strict=strict)

@@ -2,15 +2,16 @@
 
 Rule ids are stable API (tests, suppressions, and CI grep for them).
 Numbering mirrors the pass structure: ``RP1xx`` pipeline verifier,
-``RD2xx`` determinism linter, ``RT3xx`` telemetry-schema lint, ``QA0xx``
-the suppression mechanism itself. docs/VERIFY.md documents each rule,
-the hardware constraint or invariant it models, and how to suppress it.
+``RD2xx`` determinism linter, ``RT3xx`` telemetry-schema lint, ``RS4xx``
+partition analyzer, ``QA0xx`` the suppression mechanism itself.
+docs/VERIFY.md documents each rule, the hardware constraint or invariant
+it models, and how to suppress it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable
 
 from repro.verify.diagnostics import Severity
 
@@ -22,8 +23,8 @@ class Rule:
     id: str
     title: str
     severity: Severity
-    #: Which pass produces it:
-    #: "pipeline" | "determinism" | "telemetry" | "fastpath" | "meta".
+    #: Which pass produces it: "pipeline" | "determinism" | "telemetry" |
+    #: "fastpath" | "partition" | "meta".
     owner: str
     #: The paper section / hardware constraint / invariant it models.
     models: str
@@ -145,6 +146,57 @@ _RULES = [
          Severity.ERROR, "telemetry",
          "every packet.send/dup needs a deliver/drop site, every "
          "rp.request an rp.ack site — else spans can never terminate"),
+    # -- Pass 5: partition analyzer ------------------------------------------
+    Rule("RS400", "state access whose partition key cannot be classified",
+         Severity.ERROR, "partition",
+         "sharded simulation needs every register/table access provably "
+         "keyed; an unclassifiable index could touch any shard's state"),
+    Rule("RS401", "structure keyed differently from the app partition key",
+         Severity.ERROR, "partition",
+         "state indexed by fields outside the app's partition key is "
+         "touched by flows of different partitions — splitting those "
+         "partitions across shards would split one structure's writers"),
+    Rule("RS402", "declared shard class tighter than the inferred one",
+         Severity.ERROR, "partition",
+         "an app may relax its class (declare 'global' for safety) but "
+         "never tighten it: a flow_local declaration over hash-indexed "
+         "state would let the sharded runner split co-written state"),
+    Rule("RS403", "global shard class declared without a shard_reason",
+         Severity.ERROR, "partition",
+         "global state serializes the sharded runner; the declaration "
+         "must say why the state is genuinely cross-flow"),
+    Rule("RS404", "shard_class declaration is not a known partition class",
+         Severity.ERROR, "partition",
+         "the lattice is flow_local < flow_hash < global; anything else "
+         "is a typo the planner would misread"),
+    Rule("RS405", "state inferred global but the app does not declare it",
+         Severity.WARNING, "partition",
+         "inference can prove state is cross-flow but not that this is "
+         "intended; annotate shard_class = 'global' with a reason"),
+    Rule("RS406", "cache entry kind lacks a valid partition class",
+         Severity.ERROR, "partition",
+         "fastpath v2 cohort replay groups entries by partition class; "
+         "every ENTRY_DEPS row must declare one"),
+    Rule("RS407", "partition_key not statically analyzable",
+         Severity.WARNING, "partition",
+         "the analyzer could not derive the key's packet-field inputs; "
+         "the plan conservatively treats the app's state as global"),
+    Rule("RS408", "committed shard plan is stale",
+         Severity.ERROR, "partition",
+         "shard_plans/<app>.json disagrees with the analyzer's output; "
+         "regenerate with 'verify --all --emit-plans shard_plans'"),
+    Rule("RS410", "mutable module-global simulation state",
+         Severity.WARNING, "partition",
+         "module-level mutable accumulators (and 'global' rebinding) are "
+         "per-process: worker shards would silently diverge"),
+    Rule("RS411", "unpicklable callable stored on an instance or module",
+         Severity.WARNING, "partition",
+         "lambdas and nested functions cannot cross a process boundary; "
+         "shard handoff of the owning object would fail to pickle"),
+    Rule("RS412", "order-sensitive first-element pick over a dict/set",
+         Severity.WARNING, "partition",
+         "next(iter(...)) over an unordered container picks a different "
+         "element per process once shards fill containers independently"),
     # -- meta: the suppression mechanism itself ------------------------------
     Rule("QA001", "suppression without a justifying comment",
          Severity.ERROR, "meta",
@@ -154,7 +206,26 @@ _RULES = [
          "stale suppressions hide future regressions"),
 ]
 
-RULES: Dict[str, Rule] = {r.id: r for r in _RULES}
+
+def register(rules: Iterable[Rule]) -> Dict[str, Rule]:
+    """Index rules by id, refusing duplicates at registration time.
+
+    Rule ids are stable API; a collision (two passes claiming one id)
+    must fail at import, not surface later as one rule's diagnostics
+    silently wearing another rule's severity and docs.
+    """
+    table: Dict[str, Rule] = {}
+    for r in rules:
+        if r.id in table:
+            raise ValueError(
+                f"duplicate rule id {r.id!r}: "
+                f"{table[r.id].title!r} vs {r.title!r}"
+            )
+        table[r.id] = r
+    return table
+
+
+RULES: Dict[str, Rule] = register(_RULES)
 
 
 def rule(rule_id: str) -> Rule:

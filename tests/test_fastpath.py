@@ -126,9 +126,16 @@ def test_register_and_routing_are_not_flow_scopes():
 
 
 def test_entry_deps_are_declared_flow_scopes():
-    for kind, deps in ENTRY_DEPS.items():
-        assert deps <= FLOW_SCOPES, kind
-    assert Entry("app", None, 0).deps == ENTRY_DEPS["app"]
+    for kind, dep in ENTRY_DEPS.items():
+        assert dep.scopes <= FLOW_SCOPES, kind
+    assert Entry("app", None, 0).deps == ENTRY_DEPS["app"].scopes
+
+
+def test_entry_deps_declare_partition_classes():
+    """Every entry kind carries a cohort-safety class (verify RS406)."""
+    for kind, dep in ENTRY_DEPS.items():
+        assert dep.partition_class in {"flow_local", "app_keyed"}, kind
+    assert Entry("transit", None, 0).partition_class == "flow_local"
 
 
 # -- flow cache ---------------------------------------------------------------
