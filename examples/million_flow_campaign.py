@@ -1,161 +1,103 @@
 #!/usr/bin/env python
-"""Scenario: a million-flow Zipf workload through RedPlane-NAT, with one
-mid-campaign switch failover — at fast-path speed.
+"""Scenario: a ten-million-flow Zipf workload through RedPlane-NAT, with
+one mid-campaign switch failover — sharded across N workers.
 
 A CDN-edge-shaped workload: packets are drawn from a Zipf popularity
-distribution over a population of one million distinct connections. A
+distribution over a population of ten million distinct connections. A
 few head flows carry much of the traffic (they live in the flow cache
 and the flow table the whole run); a long tail of one-packet flows
 churns through lease acquisition, control-plane NAT installs, and —
 because the flow table is a fixed-size SRAM resource — periodic
-control-plane reclamation of expired entries.
+control-plane reclamation of expired entries. Halfway through, one
+aggregation switch fails; survivors migrate their leases to the peer
+via the state store.
 
-Halfway through, the aggregation switch owning most leases fails. The
-fast path hears about it on the invalidation bus (the same publish the
-chaos engine uses), flushes its compiled state, and the survivors
-migrate their leases to the peer switch via the state store.
+The flow population is *streamed*: each packet draws its flow rank
+through an analytic inverse-CDF Zipf sampler (O(1) per draw, no
+cumulative-mass table), so a 10M population costs no more memory than a
+thousand. The driver lives in :mod:`repro.shard.bench` — the same code
+the committed scaling curve (BENCH_shard.json) and the perf-trajectory
+shard figure measure.
 
-This workload is the *adversarial* case for the flow cache: every cold
-flow's control-plane NAT install publishes on the invalidation bus and
-flushes compiled flow entries, so the hit rate hovers near 50% instead
-of the >90% that stable-flow benchmarks reach (see BENCH_fastpath.json
-for those). The point here is the other half of the contract: under
-maximal invalidation churn plus a failover, the fast path stays
-bit-identical to the reference pipeline and the campaign still
-completes in under two minutes of wall clock.
+``--workers N`` partitions the flow population across N shards using
+the committed shard plan (``shard_plans/nat.json``); the merged counts
+are ghost-subtracted back to the single-process totals. With
+``--heartbeat-dir`` each shard streams NDJSON health snapshots you can
+watch live from another terminal:
 
-Run:  python examples/million_flow_campaign.py [--packets N]
-      [--population N] [--no-fastpath]
+    python -m repro.tools watch hb/heartbeat.*.ndjson -f
+
+Run:  python examples/million_flow_campaign.py [--workers N] [--seed N]
+      [--packets N] [--population N] [--no-fastpath]
+      [--heartbeat-dir DIR] [--mode inline|process]
 """
 
 import argparse
-import random
+import os
+import sys
 import time
-from bisect import bisect_right
 
-from repro import RedPlaneConfig, Simulator, deploy
-from repro.apps import NatApp, install_nat_routes
-from repro.fastpath import FastPath
-from repro.net.packet import Packet
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-#: Zipf exponent: ~flat enough that the tail is enormous (the point of
-#: the campaign) but the head still dominates per-packet traffic.
-ZIPF_S = 1.05
-#: Leases long enough that head flows renew instead of re-acquiring,
-#: short enough that tail flows expire and their SRAM slots recycle.
-LEASE_US = 400_000.0
-#: Control-plane reclamation sweep period (simulated).
-RECLAIM_EVERY_US = 800_000.0
-SPACING_US = 32.0  # paced to the 88 us serial control-plane install cost
-
-
-def zipf_sampler(population: int, seed: int):
-    """O(log n) Zipf sampling via bisection over the cumulative mass."""
-    cum = []
-    total = 0.0
-    for rank in range(1, population + 1):
-        total += rank ** -ZIPF_S
-        cum.append(total)
-    rng = random.Random(seed)
-    return lambda: bisect_right(cum, rng.random() * total)
-
-
-def flow_ports(flow_id: int):
-    """Distinct (sport, dport) per flow id — one million 5-tuples."""
-    return 2000 + flow_id % 60000, 1000 + flow_id // 60000
+from repro.shard.bench import (  # noqa: E402
+    DEFAULT_PACKETS,
+    SPACING_US,
+    ZIPF_S,
+)
+from repro.shard.runner import resolve, run_sharded  # noqa: E402
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--packets", type=int, default=130_000,
-                        help="total packets to draw (default 130000)")
-    parser.add_argument("--population", type=int, default=1_000_000,
-                        help="distinct-flow population (default 1e6)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="shard workers (default 2; 1 = no split)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="simulator seed (default: the scenario's)")
+    parser.add_argument("--packets", type=int, default=DEFAULT_PACKETS,
+                        help=f"packets to draw (default {DEFAULT_PACKETS})")
+    parser.add_argument("--population", type=int, default=10_000_000,
+                        help="distinct-flow population (default 1e7)")
     parser.add_argument("--no-fastpath", action="store_true",
-                        help="reference path only (for A/B comparison)")
+                        help="reference pipeline only (for A/B timing)")
+    parser.add_argument("--heartbeat-dir", dest="heartbeat_dir",
+                        help="write per-shard heartbeat NDJSON here "
+                             "(watch with 'repro.tools watch DIR/*.ndjson -f')")
+    parser.add_argument("--mode", choices=("inline", "process"),
+                        default="inline",
+                        help="inline (sequential shards, one process) or "
+                             "process (spawned workers)")
     args = parser.parse_args()
 
+    print(f"population {args.population:,} flows, {args.packets:,} packets "
+          f"(Zipf s={ZIPF_S}, spacing {SPACING_US}us), "
+          f"{args.workers} worker(s), {args.mode} mode")
+
+    config = resolve(
+        "million_flow", args.workers, seed=args.seed,
+        fastpath=not args.no_fastpath, capture=False,
+        heartbeat_dir=args.heartbeat_dir,
+        params={"packets": args.packets, "population": args.population},
+    )
     wall_start = time.perf_counter()
-    sim = Simulator(seed=23)
-    dep = deploy(sim, NatApp, config=RedPlaneConfig(
-        lease_period_us=LEASE_US,
-        renew_interval_us=LEASE_US / 2,
-        max_flows=65_536,
-        record_history=False,  # 2x packets of history is not the point here
-    ))
-    install_nat_routes(dep.bed)
-    if not args.no_fastpath:
-        FastPath.install(sim)
-
-    sender = dep.bed.servers[0]
-    dst_ip = dep.bed.externals[0].ip
-    sample = zipf_sampler(args.population, seed=24)
-    draws = [sample() for _ in range(args.packets)]
-    print(f"population {args.population:,} flows, {args.packets:,} packets, "
-          f"{len(set(draws)):,} distinct flows drawn "
-          f"(Zipf s={ZIPF_S}, head flow carries "
-          f"{100.0 * draws.count(min(draws)) / len(draws):.1f}%)")
-
-    def send(flow_id: int) -> None:
-        sport, dport = flow_ports(flow_id)
-        sender.send(Packet.udp(sender.ip, dst_ip, sport, dport))
-
-    t = 0.0
-    for flow_id in draws:
-        sim.schedule_at(t, send, flow_id)
-        t += SPACING_US
-
-    # Traffic ends at t; give in-flight protocol exchanges three lease
-    # periods to settle. A failed switch keeps its peers retransmitting
-    # (that is the protocol working as designed), so the run is bounded
-    # by time, not by quiescence.
-    t_end = t + 3 * LEASE_US
-
-    def reclaim() -> None:
-        freed = sum(e.reclaim_idle_flows() for e in dep.engines.values())
-        if freed:
-            sim.count("example.reclaimed", freed)
-        if sim.now < t_end:
-            sim.schedule(RECLAIM_EVERY_US, reclaim)
-
-    sim.schedule(RECLAIM_EVERY_US, reclaim)
-
-    # One failover at the campaign's midpoint: kill the lease owner.
-    fail_at = t / 2
-
-    def fail_owner() -> None:
-        owner = max(dep.engines.values(),
-                    key=lambda e: e.stats["app_packets"])
-        print(f"t={sim.now / 1e6:.3f}s sim: failing {owner.switch.name} "
-              f"({owner.stats['app_packets']:,} packets owned)")
-        dep.bed.topology.fail_node(owner.switch, detect_delay_us=25_000.0)
-
-    sim.schedule_at(fail_at, fail_owner)
-    sim.run(until=t_end)
+    merged = run_sharded(config, mode=args.mode)
     wall_s = time.perf_counter() - wall_start
 
-    apps = {id(e.app): e.app for e in dep.engines.values()}
-    translated = sum(a.translated_out for a in apps.values())
-    surviving = max(dep.engines.values(),
-                    key=lambda e: e.stats["app_packets"])
-    print(f"\ntranslated {translated:,}/{args.packets:,} packets "
-          f"({int(sim.counters.get('example.reclaimed', 0)):,} flow slots "
-          f"reclaimed, flow table peak <= 65,536)")
-    print(f"survivor {surviving.switch.name}: "
-          f"{surviving.stats['app_packets']:,} packets, "
-          f"{surviving.stats['lease_requests']:,} lease requests")
-    if not args.no_fastpath:
-        stats = sim.fastpath.stats()
-        flow = stats["flow_cache"]
-        total = flow["hits"] + flow["misses"]
-        print(f"flow cache: {flow['hits']:,} hits / {flow['misses']:,} "
-              f"misses ({100.0 * flow['hits'] / max(total, 1):.1f}%), "
-              f"invalidations: " + ", ".join(
-                  f"{k}={v}" for k, v in
-                  sorted(stats["invalidations"].items()) if v))
-    print(f"wall clock: {wall_s:.1f}s "
-          f"({'fast path' if not args.no_fastpath else 'reference path'})"
-          + ("  [target: < 120s]" if not args.no_fastpath else ""))
+    extra = merged.get("extra") or {}
+    print(f"\ntranslated {extra.get('translated', 0):,}/{args.packets:,} "
+          f"packets ({extra.get('reclaimed', 0):,} flow slots reclaimed, "
+          f"flow table peak <= 65,536)")
+    print(f"events      : {merged['events']:,} "
+          f"(ghost-subtracted across {merged['num_shards']} shard(s))")
+    print(f"flows/shard : {merged['flows_per_shard']}")
+    walls = ", ".join(f"{w:.1f}s" for w in merged["wall_s_per_shard"])
+    print(f"wall/shard  : {walls} (ghost {merged['wall_s_ghost']:.1f}s)")
+    crit = max(merged["wall_s_per_shard"])
+    print(f"wall clock  : {wall_s:.1f}s total; critical path {crit:.1f}s "
+          f"-> {args.packets / crit:,.0f} pkt/s "
+          f"({'fast path' if not args.no_fastpath else 'reference path'})")
+    if args.heartbeat_dir:
+        print(f"heartbeats  : {args.heartbeat_dir}/heartbeat.*.ndjson "
+              f"(python -m repro.tools watch ... -f)")
 
 
 if __name__ == "__main__":

@@ -95,13 +95,18 @@ def run_campaign(
 def run_campaign_result(
     campaign: Campaign, seed: int = 42, trace_path: Optional[str] = None,
     fastpath: bool = False, observe: Optional[ObserveOptions] = None,
+    sim_factory=None,
 ) -> RunResult:
     """Run a :class:`Campaign` object (named or generated) and return the
     full :class:`RunResult`. The schedule is validated after it is built:
     a fault at/after ``duration_us`` or a recover-before-fail ordering
     raises :class:`repro.workloads.failures.ScheduleError` before the
-    simulation starts."""
-    sim = Simulator(seed=seed)
+    simulation starts.
+
+    ``sim_factory`` (``seed -> Simulator``) overrides simulator
+    construction; the shard runner uses it to hand in a simulator with a
+    :class:`~repro.shard.recorder.ShardRecorder` already attached."""
+    sim = Simulator(seed=seed) if sim_factory is None else sim_factory(seed)
     if trace_path is not None:
         sim.tracer.open_sink(trace_path)
     config_kwargs = {"lease_period_us": campaign.lease_period_us}

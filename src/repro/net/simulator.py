@@ -47,15 +47,20 @@ class Event:
     ``__slots__`` because hot scenarios allocate one per hop.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "origin")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., None],
-                 args: tuple = ()) -> None:
+                 args: tuple = (), origin: Optional[int] = None) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: Root-event rank this event descends from (shard mode only;
+        #: ``None`` in ordinary runs). Children inherit it from the event
+        #: being executed when they are scheduled, which lets the shard
+        #: merge layer order records from different shards globally.
+        self.origin = origin
 
     def cancel(self) -> None:
         """Prevent the event from firing; cancelled events are skipped."""
@@ -120,6 +125,16 @@ class Simulator:
         #: the untouched fast path; when set, :meth:`_drain_observed`
         #: runs instead. Observation reads state, never mutates it.
         self._observe = None
+        #: The attached :class:`repro.shard.recorder.ShardRecorder`, or
+        #: ``None``. When set, root events (scheduled outside any event)
+        #: are assigned monotonically increasing *ranks* and may be
+        #: filtered (a shard only injects the flows it owns); children
+        #: inherit the executing event's origin. ``None`` costs one
+        #: attribute read per schedule and one store per event.
+        self.shard_ctx = None
+        #: Origin rank of the event currently executing (``None`` between
+        #: events). Only consulted when :attr:`shard_ctx` is set.
+        self._origin: Optional[int] = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -135,7 +150,19 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at t={when} before current time t={self.now}"
             )
-        event = Event(when, next(self._seq), fn, args)
+        origin = self._origin
+        if self.shard_ctx is not None and origin is None:
+            # Root event: allocate its rank. Ranks advance even for roots
+            # this shard does not own (every shard runs the same setup
+            # code in lockstep), so rank N means the same root on every
+            # shard. Unowned flow injections are returned cancelled and
+            # never enter the queue.
+            origin, admit = self.shard_ctx.root_origin(fn, args)
+            if not admit:
+                event = Event(when, next(self._seq), fn, args, origin)
+                event.cancelled = True
+                return event
+        event = Event(when, next(self._seq), fn, args, origin)
         self.last_seq = event.seq
         if self._wheel is None:
             heapq.heappush(self._heap, (when, event.seq, event))
@@ -171,44 +198,51 @@ class Simulator:
             return self._drain_observed(until, max_events, exhaust)
         executed = 0
         wheel = self._wheel
-        if wheel is None:
-            heap = self._heap
-            pop = heapq.heappop
-            while heap:
-                head = heap[0]
-                event = head[2]
-                if event.cancelled:
-                    pop(heap)
-                    continue
-                if max_events is not None and executed >= max_events:
-                    self._note_exhausted(max_events, exhaust)
-                    return executed
-                when = head[0]
-                if until is not None and when > until:
-                    break
-                pop(heap)
-                self.now = when
-                event.fn(*event.args)
-                executed += 1
-                self._events_executed += 1
-        else:
-            pop_due = wheel.pop_due
-            while True:
-                if max_events is not None and executed >= max_events:
-                    # Same exhaustion semantics as the heap branch: only
-                    # report when a live event is actually still pending.
-                    if wheel.head() is not None:
+        try:
+            if wheel is None:
+                heap = self._heap
+                pop = heapq.heappop
+                while heap:
+                    head = heap[0]
+                    event = head[2]
+                    if event.cancelled:
+                        pop(heap)
+                        continue
+                    if max_events is not None and executed >= max_events:
                         self._note_exhausted(max_events, exhaust)
                         return executed
-                    break
-                entry = pop_due(until)
-                if entry is None:
-                    break
-                self.now = entry[0]
-                event = entry[2]
-                event.fn(*event.args)
-                executed += 1
-                self._events_executed += 1
+                    when = head[0]
+                    if until is not None and when > until:
+                        break
+                    pop(heap)
+                    self.now = when
+                    self._origin = event.origin
+                    event.fn(*event.args)
+                    executed += 1
+                    self._events_executed += 1
+            else:
+                pop_due = wheel.pop_due
+                while True:
+                    if max_events is not None and executed >= max_events:
+                        # Same exhaustion semantics as the heap branch: only
+                        # report when a live event is actually still pending.
+                        if wheel.head() is not None:
+                            self._note_exhausted(max_events, exhaust)
+                            return executed
+                        break
+                    entry = pop_due(until)
+                    if entry is None:
+                        break
+                    self.now = entry[0]
+                    event = entry[2]
+                    self._origin = event.origin
+                    event.fn(*event.args)
+                    executed += 1
+                    self._events_executed += 1
+        finally:
+            # Code running after the drain (scenario drivers, reporters)
+            # is root context again.
+            self._origin = None
         return executed
 
     def _note_exhausted(self, max_events: int, exhaust: Optional[str]) -> None:
@@ -254,50 +288,55 @@ class Simulator:
         wheel = self._wheel
         if profiler is not None:
             profiler.start()
-        if wheel is None:
-            heap = self._heap
-            pop = heapq.heappop
-            while heap:
-                head = heap[0]
-                event = head[2]
-                if event.cancelled:
-                    pop(heap)
-                    continue
-                if max_events is not None and executed >= max_events:
-                    self._note_exhausted(max_events, exhaust)
-                    return executed
-                when = head[0]
-                if until is not None and when > until:
-                    break
-                pop(heap)
-                self.now = when
-                event.fn(*event.args)
-                executed += 1
-                self._events_executed += 1
-                if tick is not None:
-                    tick(event.fn)
-                if heartbeat is not None:
-                    heartbeat(self.now)
-        else:
-            pop_due = wheel.pop_due
-            while True:
-                if max_events is not None and executed >= max_events:
-                    if wheel.head() is not None:
+        try:
+            if wheel is None:
+                heap = self._heap
+                pop = heapq.heappop
+                while heap:
+                    head = heap[0]
+                    event = head[2]
+                    if event.cancelled:
+                        pop(heap)
+                        continue
+                    if max_events is not None and executed >= max_events:
                         self._note_exhausted(max_events, exhaust)
                         return executed
-                    break
-                entry = pop_due(until)
-                if entry is None:
-                    break
-                self.now = entry[0]
-                event = entry[2]
-                event.fn(*event.args)
-                executed += 1
-                self._events_executed += 1
-                if tick is not None:
-                    tick(event.fn)
-                if heartbeat is not None:
-                    heartbeat(self.now)
+                    when = head[0]
+                    if until is not None and when > until:
+                        break
+                    pop(heap)
+                    self.now = when
+                    self._origin = event.origin
+                    event.fn(*event.args)
+                    executed += 1
+                    self._events_executed += 1
+                    if tick is not None:
+                        tick(event.fn)
+                    if heartbeat is not None:
+                        heartbeat(self.now)
+            else:
+                pop_due = wheel.pop_due
+                while True:
+                    if max_events is not None and executed >= max_events:
+                        if wheel.head() is not None:
+                            self._note_exhausted(max_events, exhaust)
+                            return executed
+                        break
+                    entry = pop_due(until)
+                    if entry is None:
+                        break
+                    self.now = entry[0]
+                    event = entry[2]
+                    self._origin = event.origin
+                    event.fn(*event.args)
+                    executed += 1
+                    self._events_executed += 1
+                    if tick is not None:
+                        tick(event.fn)
+                    if heartbeat is not None:
+                        heartbeat(self.now)
+        finally:
+            self._origin = None
         return executed
 
     # -- observation -----------------------------------------------------------
@@ -351,7 +390,10 @@ class Simulator:
 
     def new_uid(self) -> int:
         """Allocate the next packet-span correlation id (monotonic, >= 1)."""
-        return next(self._uid_seq)
+        uid = next(self._uid_seq)
+        if self.shard_ctx is not None:
+            self.shard_ctx.note_uid(uid)
+        return uid
 
     def tag_packet(self, pkt: Any) -> int:
         """Ensure ``pkt.meta['uid']`` is set; returns the packet's uid.

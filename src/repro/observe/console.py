@@ -5,6 +5,12 @@ Renders the NDJSON heartbeat stream a campaign writes (see
 over a finished file or tailing a growing one (``--follow``) while a
 campaign runs in another process.
 
+Sharded campaigns write one heartbeat file per worker
+(``heartbeat.shard0.ndjson``, ...); passing several files merges their
+streams into one console, each line labeled with its source. Complete
+files merge in simulated-time order; in follow mode each poll's batch
+is time-sorted (a global sort is impossible while files still grow).
+
 This module runs *outside* the simulation — it only ever reads a file —
 so its polling sleep touches no simulator state and no determinism
 contract. Rendering is a pure function of the snapshot dicts: the same
@@ -15,9 +21,10 @@ asserts.
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
-from typing import Dict, IO, Iterator, Optional
+from typing import Dict, IO, Iterator, List, Optional, Sequence, Tuple, Union
 
 #: Seconds between polls of a followed file.
 POLL_S = 0.25
@@ -27,13 +34,31 @@ _HEADER = (f"{'sim time':>10} {'events':>9} {'ev/ms':>8} {'pend':>6} "
            f"{'recov':>5} {'drops':>5} {'faults':>6} {'deliv':>7}")
 
 
-def render_header() -> str:
+#: Width of the source-label column in merged (multi-file) mode.
+_LABEL_W = 10
+
+
+def render_header(labeled: bool = False) -> str:
     """Column header matching :func:`render_snapshot`."""
+    if labeled:
+        return f"{'source':>{_LABEL_W}} {_HEADER}"
     return _HEADER
 
 
-def render_snapshot(snap: Dict[str, object]) -> str:
+def source_label(path: str) -> str:
+    """Short per-file label: ``heartbeat.shard0.ndjson`` -> ``shard0``."""
+    name = os.path.basename(path)
+    if name.endswith(".ndjson"):
+        name = name[: -len(".ndjson")]
+    if name.startswith("heartbeat."):
+        name = name[len("heartbeat."):]
+    return name[:_LABEL_W] or path[:_LABEL_W]
+
+
+def render_snapshot(snap: Dict[str, object], label: Optional[str] = None) -> str:
     """One fixed-width console line for one heartbeat snapshot."""
+    if label is not None:
+        return f"{label:>{_LABEL_W}} {render_snapshot(snap)}"
     queues = snap.get("queues", {})
     counters = snap.get("counters", {})
     t_ms = float(snap.get("t_us", 0.0)) / 1000.0
@@ -77,22 +102,35 @@ def _lines(fh: IO[str], follow: bool) -> Iterator[str]:
         time.sleep(POLL_S)
 
 
+def _parse(line: str) -> Optional[Dict[str, object]]:
+    try:
+        return json.loads(line)
+    except ValueError:
+        print(f"skipping unparseable line: {line[:60]}...", file=sys.stderr)
+        return None
+
+
 def watch(
-    path: str,
+    path: Union[str, Sequence[str]],
     follow: bool = False,
     out: Optional[IO[str]] = None,
     max_lines: Optional[int] = None,
 ) -> int:
-    """Render a heartbeat file to ``out`` (default stdout); 0 on success.
+    """Render heartbeat file(s) to ``out`` (default stdout); 0 on success.
 
     ``follow=True`` keeps tailing until interrupted. ``max_lines`` stops
-    after that many snapshots (tests use it to bound follow mode).
+    after that many snapshots (tests use it to bound follow mode). A
+    list of paths merges the streams with per-line source labels — the
+    sharded-campaign console.
     """
+    paths = [path] if isinstance(path, str) else list(path)
+    if len(paths) > 1:
+        return _watch_merged(paths, follow, out, max_lines)
     sink = out if out is not None else sys.stdout
     try:
-        fh = open(path, encoding="utf-8")
+        fh = open(paths[0], encoding="utf-8")
     except OSError as exc:
-        print(f"cannot open {path}: {exc}", file=sys.stderr)
+        print(f"cannot open {paths[0]}: {exc}", file=sys.stderr)
         return 2
     shown = 0
     with fh:
@@ -101,11 +139,8 @@ def watch(
             for line in _lines(fh, follow):
                 if not line:
                     continue
-                try:
-                    snap = json.loads(line)
-                except ValueError:
-                    print(f"skipping unparseable line: {line[:60]}...",
-                          file=sys.stderr)
+                snap = _parse(line)
+                if snap is None:
                     continue
                 print(render_snapshot(snap), file=sink, flush=follow)
                 shown += 1
@@ -114,3 +149,84 @@ def watch(
         except KeyboardInterrupt:  # pragma: no cover - interactive only
             pass
     return 0
+
+
+def _read_complete_lines(fh: IO[str], buffers: Dict[int, str],
+                         key: int) -> List[str]:
+    """Drain currently-available complete lines from one file handle."""
+    lines: List[str] = []
+    while True:
+        chunk = fh.readline()
+        if not chunk:
+            return lines
+        buf = buffers.get(key, "") + chunk
+        if buf.endswith("\n"):
+            buffers[key] = ""
+            if buf.strip():
+                lines.append(buf.strip())
+        else:
+            buffers[key] = buf
+
+
+def _watch_merged(
+    paths: Sequence[str],
+    follow: bool,
+    out: Optional[IO[str]],
+    max_lines: Optional[int],
+) -> int:
+    """Merge several heartbeat streams into one labeled console."""
+    sink = out if out is not None else sys.stdout
+    handles: List[Tuple[str, IO[str]]] = []
+    try:
+        for p in paths:
+            handles.append((source_label(p), open(p, encoding="utf-8")))
+    except OSError as exc:
+        for _label, fh in handles:
+            fh.close()
+        print(f"cannot open heartbeat file: {exc}", file=sys.stderr)
+        return 2
+    buffers: Dict[int, str] = {}
+    shown = 0
+    print(render_header(labeled=True), file=sink)
+    try:
+        while True:
+            batch: List[Tuple[float, str, Dict[str, object]]] = []
+            for i, (label, fh) in enumerate(handles):
+                for line in _read_complete_lines(fh, buffers, i):
+                    snap = _parse(line)
+                    if snap is not None:
+                        batch.append(
+                            (float(snap.get("t_us", 0.0)), label, snap)
+                        )
+            batch.sort(key=lambda item: (item[0], item[1]))
+            for _t, label, snap in batch:
+                print(render_snapshot(snap, label=label), file=sink,
+                      flush=follow)
+                shown += 1
+                if max_lines is not None and shown >= max_lines:
+                    return 0
+            if not follow:
+                # Flush any final newline-less lines before finishing.
+                tail: List[Tuple[float, str, Dict[str, object]]] = []
+                for i, (label, _fh) in enumerate(handles):
+                    line = buffers.get(i, "").strip()
+                    if line:
+                        snap = _parse(line)
+                        if snap is not None:
+                            tail.append(
+                                (float(snap.get("t_us", 0.0)), label, snap)
+                            )
+                for _t, label, snap in sorted(
+                    tail, key=lambda item: (item[0], item[1])
+                ):
+                    print(render_snapshot(snap, label=label), file=sink)
+                    shown += 1
+                    if max_lines is not None and shown >= max_lines:
+                        break
+                return 0
+            time.sleep(POLL_S)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+    finally:
+        for _label, fh in handles:
+            fh.close()

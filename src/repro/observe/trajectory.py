@@ -51,6 +51,12 @@ RAW_EVENTS = 200_000
 PIPELINE_PACKETS = 2_000
 SEED = 5
 
+#: Shard-figure shape: small enough to measure in seconds, large enough
+#: that per-shard work dominates the shared (ghost) overhead.
+SHARD_WORKERS = 2
+SHARD_PACKETS = 2_000
+SHARD_POPULATION = 50_000
+
 
 # -- measurements (shared with benchmarks/test_perf_eventloop.py) --------------
 
@@ -127,10 +133,13 @@ def measure() -> List[dict]:
     ``normalized`` field is comparable across machines.
     """
     from repro.fastpath.bench import run_scenario
+    from repro.shard.bench import bench_point
 
     raw = run_raw_eventloop()
     pipe = run_pipeline()
     fast = run_scenario(fastpath=True)
+    shard = bench_point(SHARD_WORKERS, packets=SHARD_PACKETS,
+                        population=SHARD_POPULATION, fastpath=True)
     meta = {
         "recorded_unix": int(time.time()),  # repro: noqa[RD201] -- benchmark record metadata
         "python": platform.python_version(),
@@ -153,6 +162,16 @@ def measure() -> List[dict]:
             "throughput": round(fast["packets_per_s"], 1),
             "unit": "nat_packets_per_s",
             "normalized": _normalize(fast["packets_per_s"],
+                                     raw["events_per_s"]),
+            "meta": meta,
+        },
+        {
+            "schema": 1,
+            "bench": "shard",
+            "raw_events_per_s": round(raw["events_per_s"], 1),
+            "throughput": round(shard["pps_critical_path"], 1),
+            "unit": f"shard{SHARD_WORKERS}_critical_path_pps",
+            "normalized": _normalize(shard["pps_critical_path"],
                                      raw["events_per_s"]),
             "meta": meta,
         },

@@ -1,0 +1,96 @@
+"""Flow-to-shard assignment from a plan's partition key.
+
+A shard plan (``shard_plans/<app>.json``) names the packet fields that
+key every flow-partitionable structure. This module turns those fields
+into a deterministic worker assignment: extract the key tuple from a
+packet, canonicalize it so both directions of a connection land on the
+same worker, and hash it with CRC-32 (stable across processes and
+Python versions, unlike ``hash()``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Sequence, Tuple
+
+from repro.net.packet import FlowKey, Packet
+
+#: The full 5-tuple, as plans spell it (sorted field order).
+FIVE_TUPLE = ("ip.dst", "ip.proto", "ip.src", "l4.dport", "l4.sport")
+
+#: Packet fields a shard assignment may key on. ``payload``-keyed plans
+#: (flow_hash over message contents) are not packet-extractable here and
+#: get pinned instead (see :mod:`repro.shard.plan`).
+_EXTRACTORS = {
+    "ip.src": lambda pkt: pkt.ip.src if pkt.ip else 0,
+    "ip.dst": lambda pkt: pkt.ip.dst if pkt.ip else 0,
+    "ip.proto": lambda pkt: pkt.ip.proto if pkt.ip else 0,
+    "l4.sport": lambda pkt: pkt.l4.sport if pkt.l4 else 0,
+    "l4.dport": lambda pkt: pkt.l4.dport if pkt.l4 else 0,
+    "vlan": lambda pkt: pkt.vlan if pkt.vlan is not None else 0,
+}
+
+
+def extractable(fields: Sequence[str]) -> bool:
+    """Whether every key field can be read off a packet header."""
+    return bool(fields) and all(f in _EXTRACTORS for f in fields)
+
+
+def key_bytes(pkt: Packet, fields: Sequence[str]) -> bytes:
+    """The canonical key bytes of ``pkt`` under a plan's key fields.
+
+    When the fields are the full 5-tuple, the canonical (direction-
+    independent) :class:`FlowKey` packing is used so that a flow and its
+    reverse direction always share a shard — the same canonicalization
+    the NAT state partition itself uses. Other field subsets are packed
+    positionally in sorted field order.
+    """
+    ordered = tuple(sorted(fields))
+    if ordered == FIVE_TUPLE:
+        if pkt.ip is None:
+            return b""
+        return pkt.flow_key().canonical().pack()
+    parts = []
+    for field in ordered:
+        extractor = _EXTRACTORS.get(field)
+        if extractor is None:
+            raise ValueError(f"cannot extract shard key field {field!r}")
+        parts.append(str(extractor(pkt)))
+    return "|".join(parts).encode()
+
+
+def shard_of(pkt: Packet, fields: Sequence[str], num_shards: int) -> int:
+    """The worker index owning ``pkt``'s flow (0 .. num_shards-1).
+
+    Packets without the keyed headers (e.g. a bare L2 frame under an
+    IP-keyed plan) all map to shard 0 so they are simulated exactly once.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1 ({num_shards})")
+    if num_shards == 1:
+        return 0
+    data = key_bytes(pkt, fields)
+    if not data:
+        return 0
+    return zlib.crc32(data) % num_shards
+
+
+def shard_of_flow_key(key: FlowKey, num_shards: int) -> int:
+    """Assignment for an explicit 5-tuple key (used by generators that
+    want to know a flow's owner without building a packet)."""
+    if num_shards == 1:
+        return 0
+    return zlib.crc32(key.canonical().pack()) % num_shards
+
+
+def find_packet(args: Tuple) -> Optional[Packet]:
+    """The first :class:`Packet` among a root event's arguments.
+
+    Root events carrying a packet are flow injections — the only roots a
+    shard filters. Everything else (fault schedules, monitors, reclaim
+    sweeps) is shared and runs on every shard.
+    """
+    for arg in args:
+        if isinstance(arg, Packet):
+            return arg
+    return None

@@ -1,0 +1,329 @@
+"""Drive sharded runs: reference, inline shards, worker processes, merge.
+
+Three drive modes share one scenario definition
+(:mod:`repro.shard.scenarios`):
+
+* **reference** — the plain single-process run, the bit-identity truth;
+* **inline** — every shard (plus the ghost) runs sequentially in this
+  process. Deterministic, debuggable, and the mode the identity tests
+  and the scaling bench use: the plan proves shards causally
+  independent, so each shard's isolated wall time is an honest measure
+  of what a dedicated core would spend (critical-path throughput);
+* **process** — shards run in spawned worker processes synchronized by
+  the conservative window protocol over length-prefixed frames
+  (:mod:`repro.shard.worker`).
+
+Every sharded entry point gates on the committed shard plan first:
+:func:`repro.shard.plan.check_conformance` recomputes the plan from the
+live code and refuses to shard on drift (launch-time RS408).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.net.simulator import Simulator
+from repro.shard import merge as merge_mod
+from repro.shard import plan as plan_mod
+from repro.shard.recorder import ShardRecorder
+from repro.shard.scenarios import Scenario, get_scenario
+from repro.shard.window import (
+    DEFAULT_CHUNK_US,
+    WindowController,
+    WindowSchedule,
+)
+from repro.telemetry import ScopedTimer
+
+
+@dataclass
+class ShardRunConfig:
+    """Everything one sharded run needs, resolved up front."""
+
+    scenario: Scenario
+    workers: int
+    plan: Dict[str, Any]
+    key_fields: List[str]
+    pinned: bool
+    pin_reason: str
+    lookahead_us: float
+    schedule: WindowSchedule
+    seed: int
+    fastpath: bool = False
+    capture: bool = True
+    heartbeat_dir: Optional[str] = None
+    heartbeat_interval_us: float = 1_000.0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+def resolve(
+    scenario_name: str,
+    workers: int,
+    seed: Optional[int] = None,
+    fastpath: bool = False,
+    capture: bool = True,
+    chunk_us: Optional[float] = None,
+    heartbeat_dir: Optional[str] = None,
+    heartbeat_interval_us: float = 1_000.0,
+    conformance: bool = True,
+    root: Optional[str] = None,
+    params: Optional[Dict[str, Any]] = None,
+) -> ShardRunConfig:
+    """Load scenario + plan, run the launch-time RS408 gate, and build
+    the window schedule. Raises before any worker starts on drift or an
+    inconsistent plan."""
+    scenario = get_scenario(scenario_name)
+    if conformance:
+        committed = plan_mod.check_conformance(scenario.app, root)
+    else:
+        committed = plan_mod.load_plan(scenario.app, root)
+    lookahead = plan_mod.sync_window_us(committed)
+    shardable, reason = plan_mod.shardability(committed)
+    # Flow-partitioned plans have an empty boundary set (every structure
+    # is flow-local, so no packet of one shard's flows ever needs state
+    # on another shard): windows become a pacing quantum. Pinned plans
+    # put all flows on shard 0, which empties the boundary set too.
+    schedule = WindowSchedule(
+        lookahead, chunk_us=chunk_us or DEFAULT_CHUNK_US, boundary_free=True
+    )
+    return ShardRunConfig(
+        scenario=scenario,
+        workers=workers,
+        plan=committed,
+        key_fields=plan_mod.key_fields(committed),
+        pinned=not shardable,
+        pin_reason="" if shardable else reason,
+        lookahead_us=lookahead,
+        schedule=schedule,
+        seed=scenario.seed if seed is None else seed,
+        fastpath=fastpath,
+        capture=capture,
+        heartbeat_dir=heartbeat_dir,
+        heartbeat_interval_us=heartbeat_interval_us,
+        params=dict(params or {}),
+    )
+
+
+def _new_sim(config: ShardRunConfig) -> Simulator:
+    return Simulator(seed=config.seed)
+
+
+def _attach_heartbeat(sim: Simulator, config: ShardRunConfig,
+                      label: str) -> Optional[Any]:
+    if config.heartbeat_dir is None:
+        return None
+    import os
+
+    from repro.observe import attach
+
+    os.makedirs(config.heartbeat_dir, exist_ok=True)
+    path = os.path.join(config.heartbeat_dir, f"heartbeat.{label}.ndjson")
+    # Shard campaigns can finish their event activity in a few sim
+    # milliseconds (the heartbeat only ticks while events execute), so
+    # the default 10ms cadence can yield an empty file; shard runs use a
+    # finer default.
+    return attach(sim, profile=False, heartbeat_path=path,
+                  heartbeat_interval_us=config.heartbeat_interval_us)
+
+
+def run_reference(config: ShardRunConfig) -> Dict[str, Any]:
+    """The plain single-process run of the scenario (no recorder)."""
+    sim = _new_sim(config)
+    bundle = _attach_heartbeat(sim, config, "reference")
+
+    def pace(until: float) -> None:
+        sim.run(until=until)
+
+    with ScopedTimer("shard_reference") as timer:
+        extra = config.scenario.fn(
+            sim, pace, fastpath=config.fastpath, **config.params
+        )
+    if bundle is not None:
+        bundle.close()
+    result = merge_mod.reference_result(sim)
+    result["wall_s"] = timer.elapsed_s
+    result["extra"] = extra
+    result["final_now"] = sim.now
+    return result
+
+
+def run_one_shard(
+    config: ShardRunConfig,
+    shard_index: int,
+    ghost: bool = False,
+    pace_hook: Optional[Callable[[Simulator, float], None]] = None,
+) -> Dict[str, Any]:
+    """Run one shard (or the ghost) to completion in this process.
+
+    ``pace_hook(sim, until)`` overrides the drive loop (the process-mode
+    worker passes its window-request loop); the default advances
+    directly, optionally chunked by the window schedule so inline runs
+    exercise the same windowed clock advancement.
+    """
+    recorder = ShardRecorder(
+        shard_index=0 if ghost else shard_index,
+        num_shards=config.workers,
+        key_fields=config.key_fields,
+        pinned=config.pinned,
+        ghost=ghost,
+        capture_records=config.capture,
+    )
+    sim = _new_sim(config)
+    recorder.attach(sim, config.seed)
+    label = "ghost" if ghost else f"shard{shard_index}"
+    bundle = _attach_heartbeat(sim, config, label)
+
+    if pace_hook is not None:
+        def pace(until: float) -> None:
+            pace_hook(sim, until)
+    else:
+        def pace(until: float) -> None:
+            sim.run(until=until)
+
+    with ScopedTimer("shard_worker") as timer:
+        extra = config.scenario.fn(
+            sim, pace, fastpath=config.fastpath, **config.params
+        )
+    if bundle is not None:
+        bundle.close()
+    result = recorder.result()
+    result["wall_s"] = timer.elapsed_s
+    result["extra"] = extra
+    return result
+
+
+def _windowed_pace(controller: WindowController, shard: int):
+    """Inline windowed drive: same grant/commit discipline the process
+    workers follow, against an in-process controller."""
+
+    def hook(sim: Simulator, until: float) -> None:
+        while sim.now < until:
+            upto = controller.request(shard, sim.now, until)
+            sim.run(until=upto)
+            controller.done(shard, sim.now)
+
+    return hook
+
+
+def run_sharded(
+    config: ShardRunConfig,
+    mode: str = "inline",
+    windowed: bool = True,
+) -> Dict[str, Any]:
+    """Run all shards plus the ghost and merge.
+
+    Returns the merged result (see :func:`repro.shard.merge.merge_results`)
+    plus per-shard wall times and scheduling metadata. ``mode`` is
+    ``"inline"`` (sequential, this process) or ``"process"`` (spawned
+    workers exchanging frames).
+    """
+    if mode == "process":
+        from repro.shard.worker import run_process_shards
+
+        shard_results = run_process_shards(config)
+    elif mode == "inline":
+        shard_results = []
+        if windowed:
+            # One controller spanning all shards: inline runs still
+            # exercise grant/commit clock discipline, shard by shard
+            # (legal: the plan proves the boundary set empty, so a
+            # shard never waits on another's events).
+            for index in range(config.workers):
+                controller = WindowController(config.workers, config.schedule)
+                # Peers that have not run yet hold clock 0; lift them to
+                # the horizon so a sequential shard is never throttled
+                # by a peer that cannot send it anything.
+                for other in range(config.workers):
+                    if other != index:
+                        controller.clocks[other] = float("inf")
+                shard_results.append(run_one_shard(
+                    config, index,
+                    pace_hook=_windowed_pace(controller, index),
+                ))
+        else:
+            for index in range(config.workers):
+                shard_results.append(run_one_shard(config, index))
+    else:
+        raise ValueError(f"unknown shard run mode {mode!r}")
+
+    ghost = run_one_shard(config, 0, ghost=True)
+    if config.capture:
+        merged = merge_mod.merge_results(shard_results, ghost)
+    else:
+        merged = merge_mod.summary_results(shard_results, ghost)
+    merged["mode"] = mode
+    merged["scenario"] = config.scenario.name
+    merged["app"] = config.plan.get("app")
+    merged["pinned"] = config.pinned
+    merged["pin_reason"] = config.pin_reason
+    merged["lookahead_us"] = config.lookahead_us
+    merged["window_us"] = config.schedule.window_us
+    merged["seed"] = config.seed
+    merged["wall_s_per_shard"] = [r["wall_s"] for r in shard_results]
+    merged["wall_s_ghost"] = ghost["wall_s"]
+    merged["wall_s_max_shard"] = max(r["wall_s"] for r in shard_results)
+    merged["flows_per_shard"] = [r["flows_injected"] for r in shard_results]
+    merged["extra"] = _merge_extra(shard_results, ghost)
+    return merged
+
+
+def _merge_extra(
+    shard_results: List[Dict[str, Any]], ghost: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """Ghost-subtract the scenario's numeric return values.
+
+    A scenario's extras are either counter-like (each shard contributes
+    its owned flows' share, shared work appears on every replica — the
+    standard ``sum - (N-1) * ghost`` identity) or lockstep constants
+    (identical on every replica, where the identity degenerates to
+    ``N*x - (N-1)*x = x``). Either way the subtraction reproduces the
+    reference value. Non-numeric extras come from shard 0 verbatim.
+    """
+    first = shard_results[0].get("extra")
+    if not isinstance(first, dict):
+        return first
+    replicas = len(shard_results)
+    ghost_extra = ghost.get("extra") or {}
+    out: Dict[str, Any] = {}
+    for key, value in first.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            out[key] = value
+            continue
+        total = sum(
+            r.get("extra", {}).get(key, 0) for r in shard_results
+        )
+        out[key] = total - (replicas - 1) * ghost_extra.get(key, 0)
+    return out
+
+
+def run_identity(
+    scenario_name: str,
+    workers: int = 2,
+    fastpath: bool = False,
+    mode: str = "inline",
+    conformance: bool = True,
+    params: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Reference vs merged N-shard run; returns the axis-by-axis report.
+
+    The identity contract additionally requires zero RNG draws — a
+    shard that drew randomness saw a different draw sequence than the
+    reference, so agreement would be coincidence, not construction.
+    """
+    config = resolve(
+        scenario_name, workers, conformance=conformance, fastpath=fastpath,
+        params=params,
+    )
+    reference = run_reference(config)
+    merged = run_sharded(config, mode=mode)
+    report = merge_mod.identity_report(reference, merged)
+    report["rng_silent"] = merged["rng_draws"] == 0
+    return {
+        "scenario": scenario_name,
+        "workers": workers,
+        "mode": mode,
+        "report": report,
+        "identical": all(report.values()),
+        "reference": reference,
+        "merged": merged,
+    }

@@ -1,0 +1,181 @@
+"""Conservative time-window synchronization for sharded runs.
+
+Classic conservative (Chandy–Misra–Bryant-style) discrete-event
+synchronization, specialized to the shard plans this repo commits:
+
+* The **lookahead** is the minimum latency of any cross-shard link
+  (``plan["cross_shard"]["sync_lookahead_us"]``, validated by
+  :func:`repro.shard.plan.sync_window_us`). A boundary packet leaving
+  shard A at time ``t`` cannot affect shard B before ``t + lookahead``
+  — that is a property of the topology, not a tuning knob.
+* Each shard advances in **windows**: it may simulate up to
+  ``min(every shard's committed clock) + window`` before waiting. With
+  an *open* boundary set the window must equal the lookahead exactly
+  (any larger and a boundary packet could land in a shard's past). When
+  the plan proves the boundary set **empty** — flow-partitioned apps
+  whose every structure is flow-local — the window degenerates to a
+  pacing quantum (``chunk_us``) used for heartbeat exchange and
+  backpressure; correctness no longer depends on its size, and
+  :class:`WindowSchedule` only permits a macro window in that mode.
+* :class:`BoundaryBuffer` carries cross-shard packets and enforces the
+  law mechanically: a packet may not be delivered before
+  ``sent_at + lookahead``, and may never be posted into simulated time
+  a receiver has already committed. Violations raise
+  :class:`BoundaryViolation` — loudly wrong beats silently diverged.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, List, Optional, Tuple
+
+#: Pacing quantum for boundary-free (plan-closed) runs: how often workers
+#: report heartbeat deltas and re-synchronize clocks.
+DEFAULT_CHUNK_US = 50_000.0
+
+
+class BoundaryViolation(RuntimeError):
+    """A cross-shard packet broke the lookahead law."""
+
+
+class WindowSchedule:
+    """Pure window math shared by the inline and process runners."""
+
+    def __init__(
+        self,
+        lookahead_us: float,
+        chunk_us: Optional[float] = None,
+        boundary_free: bool = False,
+    ) -> None:
+        if lookahead_us < 0:
+            raise ValueError(f"negative lookahead {lookahead_us}")
+        self.lookahead_us = float(lookahead_us)
+        self.boundary_free = boundary_free
+        if boundary_free:
+            self.window_us = max(
+                float(chunk_us) if chunk_us else DEFAULT_CHUNK_US,
+                self.lookahead_us,
+            )
+        else:
+            # Open boundary set: the window IS the lookahead. A chunk
+            # request larger than the lookahead would be unsound, so it
+            # is ignored rather than honored.
+            if self.lookahead_us <= 0:
+                raise ValueError(
+                    "cannot window an open boundary set with zero lookahead"
+                )
+            self.window_us = self.lookahead_us
+
+    def __repr__(self) -> str:
+        mode = "boundary-free" if self.boundary_free else "strict"
+        return (
+            f"<WindowSchedule {mode} window={self.window_us}us "
+            f"lookahead={self.lookahead_us}us>"
+        )
+
+
+class WindowController:
+    """Grants simulated-time windows to shards, conservatively.
+
+    A shard asking to reach ``target`` is granted
+    ``min(target, min(all committed clocks) + window)`` — it may never
+    run more than one window past the slowest shard. Grants are
+    monotone per shard, and :meth:`done` commits the shard's clock.
+    """
+
+    def __init__(self, num_shards: int, schedule: WindowSchedule) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1 ({num_shards})")
+        self.schedule = schedule
+        self.clocks: List[float] = [0.0] * num_shards
+        self.grants: List[float] = [0.0] * num_shards
+
+    def request(self, shard: int, now: float, target: float) -> float:
+        """The furthest simulated time ``shard`` may advance to."""
+        if now < self.clocks[shard]:
+            raise ValueError(
+                f"shard {shard} clock went backwards "
+                f"({now} < {self.clocks[shard]})"
+            )
+        horizon = min(self.clocks) + self.schedule.window_us
+        upto = min(target, max(horizon, now))
+        self.grants[shard] = max(self.grants[shard], upto)
+        return upto
+
+    def done(self, shard: int, now: float) -> None:
+        """Commit ``shard``'s clock at the end of a granted window."""
+        if now > self.grants[shard] + 1e-9:
+            raise BoundaryViolation(
+                f"shard {shard} advanced to {now} past its grant "
+                f"{self.grants[shard]}"
+            )
+        self.clocks[shard] = max(self.clocks[shard], now)
+
+    @property
+    def committed(self) -> float:
+        """The globally committed simulated time (slowest shard)."""
+        return min(self.clocks)
+
+
+class BoundaryBuffer:
+    """In-flight cross-shard packets for one receiving shard.
+
+    Senders :meth:`post` a payload stamped with its send time; the
+    receiver :meth:`commit`\\ s simulated time as it advances and drains
+    arrivals with :meth:`due`. Both directions of the lookahead law are
+    checked at the boundary:
+
+    * an arrival time earlier than ``sent_at + lookahead`` claims the
+      wire was faster than the slowest cross-shard link — impossible;
+    * an arrival inside already-committed time would rewrite a past the
+      receiver has simulated — the window protocol exists to prevent
+      exactly this, so it raises instead of silently diverging.
+    """
+
+    def __init__(self, lookahead_us: float) -> None:
+        if lookahead_us <= 0:
+            raise ValueError("boundary buffer needs a positive lookahead")
+        self.lookahead_us = float(lookahead_us)
+        self.committed_us = 0.0
+        self._seq = itertools.count()
+        self._heap: List[Tuple[float, int, Any]] = []
+
+    def post(
+        self, sent_at: float, payload: Any, arrive_at: Optional[float] = None
+    ) -> float:
+        """Enqueue a boundary packet; returns its arrival time."""
+        earliest = sent_at + self.lookahead_us
+        if arrive_at is None:
+            arrive_at = earliest
+        if arrive_at < earliest - 1e-12:
+            raise BoundaryViolation(
+                f"boundary packet sent at {sent_at} cannot arrive at "
+                f"{arrive_at} (< sent + lookahead {earliest})"
+            )
+        if arrive_at <= self.committed_us:
+            raise BoundaryViolation(
+                f"boundary packet arriving at {arrive_at} lands inside "
+                f"committed time (<= {self.committed_us})"
+            )
+        heapq.heappush(self._heap, (arrive_at, next(self._seq), payload))
+        return arrive_at
+
+    def commit(self, upto: float) -> None:
+        """Mark the receiver as having simulated through ``upto``."""
+        if upto < self.committed_us:
+            raise ValueError(
+                f"commit went backwards ({upto} < {self.committed_us})"
+            )
+        self.committed_us = upto
+
+    def due(self, horizon: float) -> List[Tuple[float, Any]]:
+        """Pop every arrival at or before ``horizon``, in arrival order."""
+        out: List[Tuple[float, Any]] = []
+        while self._heap and self._heap[0][0] <= horizon:
+            arrive_at, _seq, payload = heapq.heappop(self._heap)
+            out.append((arrive_at, payload))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._heap)

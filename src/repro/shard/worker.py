@@ -1,0 +1,211 @@
+"""Spawned-process shard workers and their frame protocol.
+
+Process mode: the parent spawns one worker per shard (``spawn`` context
+— a fresh interpreter, so bootstrap state must be picklable JSON
+scalars, see :class:`ShardSpec`), connects each over a
+``multiprocessing.Pipe``, and serves conservative window grants while
+workers simulate. All traffic is length-prefixed frames
+(:mod:`repro.shard.frames`):
+
+worker -> controller: ``HELLO``, then ``WINDOW_REQ``/``WINDOW_DONE``
+per window, finally ``RESULT`` (the full shard result) or ``ERROR``;
+controller -> worker: ``WINDOW_GRANT`` per request, ``BYE`` at the end.
+
+The ghost run stays in the parent (it admits no flows and is cheap),
+executed after every worker result is in.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.shard.frames import (
+    F_BYE,
+    F_ERROR,
+    F_HELLO,
+    F_RESULT,
+    F_WINDOW_DONE,
+    F_WINDOW_GRANT,
+    F_WINDOW_REQ,
+    FrameConn,
+)
+from repro.shard.window import WindowController, WindowSchedule
+
+
+@dataclass
+class ShardSpec:
+    """Picklable worker bootstrap: nothing but JSON scalars.
+
+    The spawn context re-imports everything in the child, so the spec
+    carries names and numbers, never live objects — the worker rebuilds
+    scenario, plan-derived key fields, and recorder from these.
+    """
+
+    scenario: str
+    shard_index: int
+    num_shards: int
+    seed: int
+    key_fields: List[str]
+    pinned: bool
+    lookahead_us: float
+    window_us: float
+    fastpath: bool = False
+    capture: bool = True
+    heartbeat_dir: Optional[str] = None
+    heartbeat_interval_us: float = 1_000.0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+def worker_main(conn: Any, spec_dict: Dict[str, Any]) -> None:
+    """Worker process entry point: run one shard, frame-synchronized."""
+    spec = ShardSpec(**spec_dict)
+    fc = FrameConn(conn)
+    try:
+        from repro.shard.runner import ShardRunConfig, run_one_shard
+        from repro.shard.scenarios import get_scenario
+
+        fc.send(F_HELLO, {
+            "shard": spec.shard_index, "scenario": spec.scenario,
+        })
+        config = ShardRunConfig(
+            scenario=get_scenario(spec.scenario),
+            workers=spec.num_shards,
+            plan={},
+            key_fields=list(spec.key_fields),
+            pinned=spec.pinned,
+            pin_reason="",
+            lookahead_us=spec.lookahead_us,
+            schedule=WindowSchedule(
+                spec.lookahead_us, chunk_us=spec.window_us,
+                boundary_free=True,
+            ),
+            seed=spec.seed,
+            fastpath=spec.fastpath,
+            capture=spec.capture,
+            heartbeat_dir=spec.heartbeat_dir,
+            heartbeat_interval_us=spec.heartbeat_interval_us,
+            params=dict(spec.params),
+        )
+
+        def pace_hook(sim: Any, until: float) -> None:
+            while sim.now < until:
+                fc.send(F_WINDOW_REQ, {
+                    "shard": spec.shard_index,
+                    "now": sim.now,
+                    "target": until,
+                })
+                _ftype, body = fc.recv_expect(F_WINDOW_GRANT)
+                sim.run(until=float(body["upto"]))
+                fc.send(F_WINDOW_DONE, {
+                    "shard": spec.shard_index, "now": sim.now,
+                })
+
+        result = run_one_shard(
+            config, spec.shard_index, pace_hook=pace_hook
+        )
+        fc.send(F_RESULT, result)
+        fc.recv_expect(F_BYE)
+    except Exception:
+        try:
+            fc.send(F_ERROR, {"error": traceback.format_exc()})
+        except Exception:
+            pass
+    finally:
+        fc.close()
+
+
+def run_process_shards(config: Any) -> List[Dict[str, Any]]:
+    """Spawn one worker per shard, serve window grants, collect results.
+
+    ``config`` is a :class:`repro.shard.runner.ShardRunConfig`. Returns
+    the shard results in shard order. A worker error tears the whole
+    run down with its traceback — a partial merge would be meaningless.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    controller = WindowController(config.workers, config.schedule)
+    conns: List[Any] = []
+    procs: List[Any] = []
+    for index in range(config.workers):
+        parent_conn, child_conn = ctx.Pipe()
+        spec = ShardSpec(
+            scenario=config.scenario.name,
+            shard_index=index,
+            num_shards=config.workers,
+            seed=config.seed,
+            key_fields=list(config.key_fields),
+            pinned=config.pinned,
+            lookahead_us=config.lookahead_us,
+            window_us=config.schedule.window_us,
+            fastpath=config.fastpath,
+            capture=config.capture,
+            heartbeat_dir=config.heartbeat_dir,
+            heartbeat_interval_us=config.heartbeat_interval_us,
+            params=dict(config.params),
+        )
+        proc = ctx.Process(
+            target=worker_main, args=(child_conn, asdict(spec)),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        conns.append(FrameConn(parent_conn))
+        procs.append(proc)
+
+    results: List[Optional[Dict[str, Any]]] = [None] * config.workers
+    index_of = {id(fc._conn): i for i, fc in enumerate(conns)}
+    try:
+        pending = set(range(config.workers))
+        while pending:
+            ready = multiprocessing.connection.wait(
+                [conns[i]._conn for i in sorted(pending)],
+                timeout=300.0,
+            )
+            if not ready:
+                raise RuntimeError(
+                    f"shard workers stalled (pending: {sorted(pending)})"
+                )
+            for raw in ready:
+                index = index_of[id(raw)]
+                fc = conns[index]
+                ftype, body = fc.recv()
+                if ftype == F_HELLO:
+                    continue
+                if ftype == F_WINDOW_REQ:
+                    upto = controller.request(
+                        int(body["shard"]), float(body["now"]),
+                        float(body["target"]),
+                    )
+                    fc.send(F_WINDOW_GRANT, {"upto": upto})
+                elif ftype == F_WINDOW_DONE:
+                    controller.done(int(body["shard"]), float(body["now"]))
+                elif ftype == F_RESULT:
+                    results[index] = body
+                    fc.send(F_BYE, {})
+                    pending.discard(index)
+                elif ftype == F_ERROR:
+                    raise RuntimeError(
+                        f"shard worker {index} failed:\n"
+                        f"{body.get('error', '?')}"
+                    )
+                else:
+                    raise RuntimeError(
+                        f"unexpected frame type {ftype} from worker {index}"
+                    )
+    finally:
+        for proc in procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+        for fc in conns:
+            try:
+                fc.close()
+            except OSError:
+                pass
+
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:
+        raise RuntimeError(f"no result from shard(s) {missing}")
+    return results  # type: ignore[return-value]

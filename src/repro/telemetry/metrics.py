@@ -102,20 +102,31 @@ class Gauge(Instrument):
     """A level that can move both ways."""
 
     kind = "gauge"
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "on_change")
 
     def __init__(self, name: str, labels: LabelItems = ()) -> None:
         super().__init__(name, labels)
         self._value = 0.0
+        #: Optional observer called with ``(gauge, op, amount)`` on every
+        #: mutation (op is ``"set"``/``"add"``/``"set_max"``). Shard mode
+        #: logs the operation stream so the merge layer can replay
+        #: cross-flow-coupled gauges (peaks) in global order.
+        self.on_change = None
 
     def set(self, value: float) -> None:
+        if self.on_change is not None:
+            self.on_change(self, "set", value)
         self._value = float(value)
 
     def add(self, delta: float) -> None:
+        if self.on_change is not None:
+            self.on_change(self, "add", delta)
         self._value += delta
 
     def set_max(self, value: float) -> None:
         """Ratchet: keep the running maximum (peak tracking)."""
+        if self.on_change is not None:
+            self.on_change(self, "set_max", value)
         if value > self._value:
             self._value = float(value)
 
@@ -137,7 +148,7 @@ class Histogram(Instrument):
 
     kind = "histogram"
     __slots__ = ("max_samples", "count", "sum", "_min", "_max",
-                 "_samples", "_stride", "_skip")
+                 "_samples", "_stride", "_skip", "on_observe")
 
     def __init__(
         self,
@@ -156,9 +167,16 @@ class Histogram(Instrument):
         self._samples: List[float] = []
         self._stride = 1
         self._skip = 0
+        #: Optional observer called with ``(histogram, value)`` on every
+        #: observation. Shard mode logs observations through this so the
+        #: merge layer can rebuild the reference reservoir (decimation is
+        #: order-dependent, so summed reservoirs would not match).
+        self.on_observe = None
 
     def observe(self, value: float) -> None:
         value = float(value)
+        if self.on_observe is not None:
+            self.on_observe(self, value)
         self.count += 1
         self.sum += value
         if self._min is None or value < self._min:
@@ -211,6 +229,9 @@ class MetricRegistry:
 
     def __init__(self) -> None:
         self._instruments: Dict[Tuple[str, LabelItems], Instrument] = {}
+        #: Optional observer called with each newly created instrument
+        #: (shard mode hooks histogram observation logging through this).
+        self.on_create = None
 
     # -- creation ------------------------------------------------------------
 
@@ -228,6 +249,8 @@ class MetricRegistry:
         if inst is None:
             inst = Histogram(name, key[1], max_samples=max_samples)
             self._instruments[key] = inst
+            if self.on_create is not None:
+                self.on_create(inst)
         elif not isinstance(inst, Histogram):
             raise TypeError(
                 f"{inst.describe()} already registered as a {inst.kind}"
@@ -242,6 +265,8 @@ class MetricRegistry:
         if inst is None:
             inst = cls(name, key[1])
             self._instruments[key] = inst
+            if self.on_create is not None:
+                self.on_create(inst)
         elif type(inst) is not cls:
             raise TypeError(
                 f"{inst.describe()} already registered as a {inst.kind}"

@@ -113,6 +113,10 @@ class Tracer:
         self._ring: Deque[TraceRecord] = deque(maxlen=maxlen)
         self._sink: Optional[TextIO] = None
         self._sink_owned = False
+        #: Optional observer called with each record *after* it is
+        #: appended to the ring (shard mode records origin sidecars
+        #: through this). Must not emit records itself.
+        self.on_emit: Optional[Callable[[TraceRecord], None]] = None
 
     def emit(self, type_: str, **fields: Any) -> None:
         """Record one event at the current simulated time."""
@@ -123,6 +127,8 @@ class Tracer:
         self._ring.append(record)
         if self._sink is not None:
             self._sink.write(record.to_json() + "\n")
+        if self.on_emit is not None:
+            self.on_emit(record)
 
     # -- reading --------------------------------------------------------------
 

@@ -17,7 +17,12 @@ Usage::
     python -m repro.tools fastpath --diff   # on/off A/B identity + speedup
     python -m repro.tools profile gray_link --flame f.txt  # self-profiler
     python -m repro.tools watch hb.ndjson -f  # live campaign health console
+    python -m repro.tools watch hb/heartbeat.*.ndjson -f  # merged shard view
     python -m repro.tools bench --record --check  # perf-trajectory gate
+    python -m repro.tools shard plan nat    # shard plan + worker assignment
+    python -m repro.tools shard run nat_steady --workers 4  # sharded run
+    python -m repro.tools shard diff nat_quickstart --workers 2  # identity
+    python -m repro.tools shard bench --workers-list 1,2,4,8  # scaling curve
 
 Each experiment is a pytest benchmark under ``benchmarks/``; the runner
 invokes pytest with the right selection so the printed rows land on
@@ -597,12 +602,165 @@ def run_profile(name: str, seed: int, packets: int, flame: Optional[str],
     return 0
 
 
-def run_watch(path: str, follow: bool,
+def run_watch(paths: List[str], follow: bool,
               max_lines: Optional[int]) -> int:
-    """Tail/render a heartbeat NDJSON file (``repro.tools watch``)."""
+    """Tail/render heartbeat NDJSON file(s) (``repro.tools watch``).
+
+    Several files (a sharded campaign's per-worker heartbeats) merge
+    into one labeled console."""
     from repro.observe.console import watch
 
-    return watch(path, follow=follow, max_lines=max_lines)
+    return watch(paths if len(paths) > 1 else paths[0],
+                 follow=follow, max_lines=max_lines)
+
+
+# -- shard CLI ----------------------------------------------------------------
+
+
+def _shard_assignment_table(plan: dict, workers: int) -> str:
+    """Which worker owns what, for ``repro.tools shard plan``."""
+    from repro.shard.plan import shardability, sync_window_us
+
+    lines: List[str] = []
+    shardable, reason = shardability(plan)
+    lines.append(f"workers: {workers}")
+    if shardable:
+        fields = ", ".join(plan["partition_key"]["fields"])
+        lines.append(f"  flow shards : hash(flow key [{fields}]) % "
+                     f"{workers} -> owner worker")
+    else:
+        lines.append(f"  pinned      : all flows on worker 0 ({reason})")
+    for entry in plan["structures"]:
+        if shardable and entry["partition_class"] in (
+            "flow_local", "flow_hash"
+        ):
+            where = f"worker of owning flow (0..{workers - 1})"
+        else:
+            where = "worker 0 (global residue)"
+        lines.append(f"  {entry['name']:<28} -> {where}")
+    residue = plan["global_residue"]
+    if residue:
+        lines.append(f"  global residue pinned to worker 0: "
+                     f"{', '.join(residue)}")
+    lines.append(f"  state store : replicated chain on every worker "
+                 f"(shared events run in lockstep)")
+    lines.append(f"  sync window : {sync_window_us(plan)} us lookahead "
+                 f"(min cross-shard link latency)")
+    return "\n".join(lines)
+
+
+def run_shard_plan(app: str, workers: int, as_json: bool) -> int:
+    """``repro.tools shard plan <app>``: assignment table or --json."""
+    from repro.shard.plan import PlanError, check_conformance
+    from repro.verify.partition_pass import plan_json, render_plan
+
+    try:
+        plan = check_conformance(app)
+    except PlanError as exc:
+        print(f"shard plan: {exc}", file=sys.stderr)
+        return 2
+    if as_json:
+        print(plan_json(plan), end="")
+        return 0
+    print(render_plan(plan))
+    print(_shard_assignment_table(plan, workers))
+    return 0
+
+
+def _merged_summary(merged: dict) -> dict:
+    """JSON-safe summary of a merged shard run (drops record objects)."""
+    return {k: v for k, v in merged.items()
+            if k not in ("trace", "records")}
+
+
+def run_shard_run(args: "argparse.Namespace") -> int:
+    """``repro.tools shard run <scenario> --workers N``."""
+    from repro.shard.runner import resolve, run_sharded
+
+    config = resolve(
+        args.scenario, args.workers, seed=args.seed,
+        fastpath=args.fastpath, capture=not args.no_capture,
+        heartbeat_dir=args.heartbeat_dir,
+    )
+    merged = run_sharded(config, mode=args.mode)
+    if args.save:
+        os.makedirs(args.save, exist_ok=True)
+        path = os.path.join(args.save, "merged.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(_merged_summary(merged), fh, indent=2,
+                      sort_keys=True, default=str)
+        print(f"merged result -> {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(_merged_summary(merged), indent=2,
+                         sort_keys=True, default=str))
+        return 0
+    print(f"scenario    : {merged['scenario']} (app {merged['app']}, "
+          f"seed {merged['seed']})")
+    print(f"workers     : {merged['num_shards']} ({merged['mode']}), "
+          f"window {merged['window_us']} us, "
+          f"lookahead {merged['lookahead_us']} us"
+          + (f", PINNED: {merged['pin_reason']}" if merged["pinned"] else ""))
+    print(f"events      : {merged['events']:,}")
+    print(f"records     : {merged['records_emitted']:,}")
+    print(f"flows/shard : {merged['flows_per_shard']}")
+    print(f"wall/shard  : "
+          + ", ".join(f"{w:.2f}s" for w in merged["wall_s_per_shard"])
+          + f" (ghost {merged['wall_s_ghost']:.2f}s)")
+    if "trace_digest" in merged:
+        print(f"trace digest: {merged['trace_digest']}")
+    print(f"rng draws   : {merged['rng_draws']}")
+    return 0
+
+
+def run_shard_diff(args: "argparse.Namespace") -> int:
+    """``repro.tools shard diff <scenario>``: A/B vs the reference."""
+    from repro.shard.runner import run_identity
+
+    out = run_identity(
+        args.scenario, workers=args.workers, mode=args.mode,
+        fastpath=args.fastpath,
+    )
+    report = out["report"]
+    width = max(len(k) for k in report)
+    for axis, same in report.items():
+        print(f"{axis.ljust(width)} : {'identical' if same else 'DIFFERS'}")
+    verdict = "IDENTICAL" if out["identical"] else "DIFFERS"
+    print(f"{'verdict'.ljust(width)} : {verdict} "
+          f"({args.workers} shard(s), {args.mode} mode, vs reference)")
+    return 0 if out["identical"] else 1
+
+
+def run_shard_bench(args: "argparse.Namespace") -> int:
+    """``repro.tools shard bench``: the worker scaling curve."""
+    from repro.shard import bench as shard_bench
+
+    workers_list = [int(w) for w in args.workers_list.split(",")]
+    curve = shard_bench.run_scaling_curve(
+        workers_list,
+        packets=args.packets or shard_bench.DEFAULT_PACKETS,
+        population=args.population or shard_bench.DEFAULT_POPULATION,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    payload = shard_bench.bench_payload(curve)
+    if args.record or args.out:
+        path = args.out or shard_bench.BENCH_PATH
+        shard_bench.write_bench(path, **payload)
+        print(f"recorded -> {path}", file=sys.stderr)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def run_shard_cli(args: "argparse.Namespace") -> int:
+    if args.shard_command == "plan":
+        return run_shard_plan(args.app, args.workers, args.json)
+    if args.shard_command == "run":
+        return run_shard_run(args)
+    if args.shard_command == "diff":
+        return run_shard_diff(args)
+    if args.shard_command == "bench":
+        return run_shard_bench(args)
+    print("shard: give a subcommand (plan/run/diff/bench)", file=sys.stderr)
+    return 2
 
 
 def run_bench_trajectory(record: bool, gate: bool,
@@ -832,12 +990,76 @@ def main(argv: Optional[List[str]] = None) -> int:
     watch_parser = sub.add_parser(
         "watch", help="render a campaign's heartbeat NDJSON stream as a "
                       "live health console")
-    watch_parser.add_argument("file", help="heartbeat NDJSON file "
-                                           "(see profile --heartbeat)")
+    watch_parser.add_argument("file", nargs="+",
+                              help="heartbeat NDJSON file(s); several "
+                                   "files (a sharded run's per-worker "
+                                   "heartbeats) merge into one labeled "
+                                   "console")
     watch_parser.add_argument("-f", "--follow", action="store_true",
-                              help="keep tailing as the file grows")
+                              help="keep tailing as the files grow")
     watch_parser.add_argument("--max-lines", type=int, dest="max_lines",
                               help="stop after N snapshots")
+    shard_parser = sub.add_parser(
+        "shard", help="sharded parallel simulation: plan / run / diff / "
+                      "bench")
+    shard_sub = shard_parser.add_subparsers(dest="shard_command")
+    shard_plan = shard_sub.add_parser(
+        "plan", help="render an app's committed shard plan + worker "
+                     "assignment table")
+    shard_plan.add_argument("app", help="app name (e.g. nat, sync_counter)")
+    shard_plan.add_argument("--workers", type=int, default=2,
+                            help="worker count for the assignment table "
+                                 "(default 2)")
+    shard_plan.add_argument("--json", action="store_true",
+                            help="emit the raw plan JSON (same renderer "
+                                 "as verify --emit-plans)")
+    shard_run = shard_sub.add_parser(
+        "run", help="run a scenario sharded across N workers and merge")
+    shard_run.add_argument("scenario",
+                           help="scenario name (see repro.shard.scenarios)")
+    shard_run.add_argument("--workers", type=int, default=2)
+    shard_run.add_argument("--seed", type=int, default=None,
+                           help="override the scenario's default seed")
+    shard_run.add_argument("--mode", choices=("inline", "process"),
+                           default="inline",
+                           help="inline (sequential, one process) or "
+                                "process (spawned workers, framed sync)")
+    shard_run.add_argument("--fastpath", action="store_true",
+                           help="install the fast path in every shard")
+    shard_run.add_argument("--no-capture", action="store_true",
+                           help="skip record capture (throughput runs; "
+                                "merge reports counts only)")
+    shard_run.add_argument("--heartbeat-dir", dest="heartbeat_dir",
+                           help="write per-shard heartbeat NDJSON files "
+                                "here (view with 'watch DIR/*.ndjson -f')")
+    shard_run.add_argument("--save", help="write the merged summary JSON "
+                                          "into this directory")
+    shard_run.add_argument("--json", action="store_true",
+                           help="machine-readable merged summary")
+    shard_diff = shard_sub.add_parser(
+        "diff", help="byte-identity gate: N-shard merged run vs the "
+                     "single-process reference")
+    shard_diff.add_argument("scenario")
+    shard_diff.add_argument("--workers", type=int, default=2)
+    shard_diff.add_argument("--mode", choices=("inline", "process"),
+                            default="inline")
+    shard_diff.add_argument("--fastpath", action="store_true")
+    shard_bench = shard_sub.add_parser(
+        "bench", help="worker scaling curve on the million-flow campaign")
+    shard_bench.add_argument("--workers-list", dest="workers_list",
+                             default="1,2,4,8",
+                             help="comma-separated worker counts "
+                                  "(default 1,2,4,8)")
+    shard_bench.add_argument("--packets", type=int, default=None,
+                             help="packets per point (default: the "
+                                  "committed-bench size)")
+    shard_bench.add_argument("--population", type=int, default=None,
+                             help="Zipf flow population (default: the "
+                                  "committed-bench size)")
+    shard_bench.add_argument("--record", action="store_true",
+                             help="merge the curve into BENCH_shard.json")
+    shard_bench.add_argument("--out", help="record to this path instead "
+                                           "of the committed file")
     spans_parser = sub.add_parser(
         "spans", help="run the quickstart scenario and verify packet-span "
                       "completeness + RTT attribution")
@@ -1006,6 +1228,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                            args.flame, args.heartbeat, args.json, args.top)
     if args.command == "watch":
         return run_watch(args.file, args.follow, args.max_lines)
+    if args.command == "shard":
+        return run_shard_cli(args)
     if args.command == "spans":
         return show_spans(args.seed, args.packets, args.json)
     if args.command == "timeline":

@@ -118,7 +118,7 @@ _STRUCT_TYPES = (RegisterArray, PairedRegisterArray, LazySnapshotArray,
                  MatchTable)
 
 #: Packages whose Python-level state crosses shard-process boundaries.
-_SHARD_SCOPES = frozenset({"core", "statestore", "fastpath", "net"})
+_SHARD_SCOPES = frozenset({"core", "statestore", "fastpath", "net", "shard"})
 
 
 def _find_def(func) -> Optional[Tuple[ast.FunctionDef, str]]:

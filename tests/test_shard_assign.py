@@ -1,0 +1,91 @@
+"""Flow-to-shard assignment: determinism, direction symmetry, keying."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.shard.assign import (
+    FIVE_TUPLE,
+    extractable,
+    find_packet,
+    key_bytes,
+    shard_of,
+    shard_of_flow_key,
+)
+
+
+def _pkt(src=0x0A000001, dst=0x0A000002, sport=5555, dport=7777):
+    return Packet.udp(src, dst, sport, dport)
+
+
+def test_assignment_is_deterministic_and_in_range():
+    for n in (1, 2, 3, 8):
+        seen = set()
+        for sport in range(2000, 2100):
+            pkt = _pkt(sport=sport)
+            owner = shard_of(pkt, FIVE_TUPLE, n)
+            assert owner == shard_of(pkt, FIVE_TUPLE, n)
+            assert 0 <= owner < n
+            seen.add(owner)
+        if n > 1:
+            # 100 distinct flows must not all land on one worker.
+            assert len(seen) > 1
+
+
+def test_both_directions_share_a_shard():
+    fwd = _pkt(src=1, dst=2, sport=4242, dport=80)
+    rev = _pkt(src=2, dst=1, sport=80, dport=4242)
+    for n in (2, 3, 8):
+        assert shard_of(fwd, FIVE_TUPLE, n) == shard_of(rev, FIVE_TUPLE, n)
+
+
+def test_assignment_matches_flow_key_hash():
+    pkt = _pkt()
+    n = 4
+    assert shard_of(pkt, FIVE_TUPLE, n) == shard_of_flow_key(
+        pkt.flow_key(), n
+    )
+    data = pkt.flow_key().canonical().pack()
+    assert shard_of(pkt, FIVE_TUPLE, n) == zlib.crc32(data) % n
+
+
+def test_single_shard_owns_everything():
+    assert shard_of(_pkt(), FIVE_TUPLE, 1) == 0
+
+
+def test_keyless_packet_pins_to_shard_zero():
+    bare = Packet()
+    assert key_bytes(bare, FIVE_TUPLE) == b""
+    assert shard_of(bare, FIVE_TUPLE, 8) == 0
+
+
+def test_partial_field_subsets_pack_positionally():
+    pkt = _pkt()
+    data = key_bytes(pkt, ("ip.src", "ip.dst"))
+    assert data == f"{pkt.ip.dst}|{pkt.ip.src}".encode()
+
+
+def test_extractable_rejects_payload_fields():
+    assert extractable(FIVE_TUPLE)
+    assert not extractable(("payload.key",))
+    assert not extractable(())
+
+
+def test_unknown_field_raises():
+    with pytest.raises(ValueError):
+        key_bytes(_pkt(), ("ip.src", "no.such.field"))
+
+
+def test_find_packet_picks_first_packet_argument():
+    pkt = _pkt()
+    assert find_packet((1, "x", pkt, _pkt(sport=1))) is pkt
+    assert find_packet((1, "x")) is None
+    assert find_packet(()) is None
+
+
+def test_invalid_num_shards_raises():
+    with pytest.raises(ValueError):
+        shard_of(_pkt(), FIVE_TUPLE, 0)

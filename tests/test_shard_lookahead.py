@@ -1,0 +1,106 @@
+"""Lookahead math: every committed plan's sync window, and the
+boundary-packet property the window protocol relies on."""
+
+from __future__ import annotations
+
+import copy
+import random
+
+import pytest
+
+from repro.shard.plan import (
+    PlanError,
+    available_plans,
+    load_plan,
+    sync_window_us,
+)
+from repro.shard.window import BoundaryBuffer, BoundaryViolation
+
+
+def _committed_plans():
+    names = available_plans()
+    assert names, "no committed shard plans found"
+    return names
+
+
+@pytest.mark.parametrize("app", _committed_plans())
+def test_committed_lookahead_is_min_cross_shard_link_latency(app):
+    plan = load_plan(app)
+    links = (plan.get("cross_shard") or {}).get("links") or []
+    window = sync_window_us(plan)
+    if not links:
+        assert window == 0.0
+        return
+    assert window == min(float(l["latency_us"]) for l in links)
+    assert window > 0.0
+
+
+@pytest.mark.parametrize("app", _committed_plans())
+def test_tampered_lookahead_is_rejected(app):
+    plan = load_plan(app)
+    links = (plan.get("cross_shard") or {}).get("links") or []
+    if not links:
+        pytest.skip("plan has no cross-shard links")
+    tampered = copy.deepcopy(plan)
+    tampered["cross_shard"]["sync_lookahead_us"] = (
+        float(tampered["cross_shard"]["sync_lookahead_us"]) * 2.0
+    )
+    with pytest.raises(PlanError):
+        sync_window_us(tampered)
+
+
+def test_nat_lookahead_matches_the_live_topology():
+    """The committed artifact against ground truth: deploy the testbed
+    and re-derive the minimum crossing-link latency."""
+    from repro import Simulator, deploy
+    from repro.apps.nat import NatApp
+
+    plan = load_plan("nat")
+    dep = deploy(Simulator(seed=1), NatApp)
+    agg_names = {a.name for a in dep.bed.aggs}
+    crossing = [
+        link.latency_us
+        for link in dep.bed.topology.links
+        if (link.a.node.name in agg_names)
+        != (link.b.node.name in agg_names)
+    ]
+    assert crossing, "testbed has no links crossing a shard group"
+    assert sync_window_us(plan) == min(crossing)
+
+
+def test_boundary_packets_never_arrive_earlier_than_the_window_allows():
+    """Property test: for any stream of posts with arbitrary send times
+    and wire delays >= the lookahead, every drained arrival respects
+    ``arrive_at >= sent_at + lookahead`` and lands outside committed
+    time. Delays below the lookahead always raise."""
+    rng = random.Random(4242)
+    for _trial in range(200):
+        lookahead = rng.uniform(0.05, 5.0)
+        buf = BoundaryBuffer(lookahead)
+        posted = []
+        now = 0.0
+        for _ in range(rng.randrange(1, 20)):
+            sent_at = now + rng.uniform(0.0, 10.0)
+            legal_delay = lookahead + rng.uniform(0.0, 10.0)
+            arrive = buf.post(sent_at, ("pkt", sent_at),
+                              arrive_at=sent_at + legal_delay)
+            assert arrive >= sent_at + lookahead - 1e-12
+            posted.append((arrive, sent_at))
+            if rng.random() < 0.3:
+                # An impossible wire: faster than the slowest link.
+                with pytest.raises(BoundaryViolation):
+                    buf.post(sent_at, "fast",
+                             arrive_at=sent_at
+                             + lookahead * rng.uniform(0.0, 0.98))
+            now = sent_at
+        # Drain in windows; arrivals must be ordered and post-committed.
+        horizon = 0.0
+        drained = []
+        while len(drained) < len(posted):
+            horizon += lookahead
+            for arrive_at, (_tag, sent_at) in buf.due(horizon):
+                assert arrive_at >= sent_at + lookahead - 1e-12
+                assert arrive_at > buf.committed_us
+                drained.append(arrive_at)
+            buf.commit(horizon)
+        assert drained == sorted(drained)

@@ -1,0 +1,89 @@
+"""Conservative time-window protocol: schedules, grants, boundaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard.window import (
+    DEFAULT_CHUNK_US,
+    BoundaryBuffer,
+    BoundaryViolation,
+    WindowController,
+    WindowSchedule,
+)
+
+
+def test_strict_schedule_window_is_the_lookahead():
+    sched = WindowSchedule(0.35)
+    assert sched.window_us == 0.35
+    # A chunk larger than the lookahead would be unsound; it is ignored.
+    assert WindowSchedule(0.35, chunk_us=1000.0).window_us == 0.35
+
+
+def test_boundary_free_schedule_uses_macro_chunks():
+    sched = WindowSchedule(0.35, boundary_free=True)
+    assert sched.window_us == DEFAULT_CHUNK_US
+    assert WindowSchedule(0.35, chunk_us=500.0,
+                          boundary_free=True).window_us == 500.0
+    # Never below the lookahead, even with a silly chunk.
+    assert WindowSchedule(10.0, chunk_us=1.0,
+                          boundary_free=True).window_us == 10.0
+
+
+def test_zero_lookahead_open_boundary_is_rejected():
+    with pytest.raises(ValueError):
+        WindowSchedule(0.0)
+    with pytest.raises(ValueError):
+        WindowSchedule(-1.0, boundary_free=True)
+    # Boundary-free with zero lookahead is fine (plan-closed partition).
+    assert WindowSchedule(0.0, boundary_free=True).window_us \
+        == DEFAULT_CHUNK_US
+
+
+def test_controller_grants_never_outrun_the_slowest_shard():
+    ctrl = WindowController(2, WindowSchedule(10.0))
+    # Shard 0 asks for the moon; it gets one window past t=0.
+    assert ctrl.request(0, 0.0, 1000.0) == 10.0
+    ctrl.done(0, 10.0)
+    # Still capped: shard 1 has not moved.
+    assert ctrl.request(0, 10.0, 1000.0) == 10.0
+    ctrl.done(0, 10.0)
+    # Shard 1 advances; shard 0's horizon moves with it.
+    assert ctrl.request(1, 0.0, 1000.0) == 10.0
+    ctrl.done(1, 10.0)
+    assert ctrl.request(0, 10.0, 1000.0) == 20.0
+    assert ctrl.committed == 10.0
+
+
+def test_controller_rejects_overshoot_and_backwards_clocks():
+    ctrl = WindowController(2, WindowSchedule(10.0))
+    upto = ctrl.request(0, 0.0, 100.0)
+    with pytest.raises(BoundaryViolation):
+        ctrl.done(0, upto + 5.0)
+    ctrl.done(0, upto)
+    with pytest.raises(ValueError):
+        ctrl.request(0, upto - 1.0, 100.0)
+
+
+def test_boundary_buffer_enforces_lookahead_law():
+    buf = BoundaryBuffer(0.35)
+    at = buf.post(10.0, "pkt")
+    assert at == pytest.approx(10.35)
+    # Explicit arrival earlier than sent + lookahead: impossible wire.
+    with pytest.raises(BoundaryViolation):
+        buf.post(10.0, "pkt", arrive_at=10.1)
+    # Arrival inside committed time would rewrite simulated history.
+    buf.commit(20.0)
+    with pytest.raises(BoundaryViolation):
+        buf.post(19.0, "pkt")
+    assert buf.due(30.0) == [(pytest.approx(10.35), "pkt")]
+    assert len(buf) == 0
+
+
+def test_boundary_buffer_drains_in_arrival_order():
+    buf = BoundaryBuffer(1.0)
+    buf.post(5.0, "b")
+    buf.post(1.0, "a")
+    buf.post(9.0, "c")
+    assert [p for _t, p in buf.due(7.0)] == ["a", "b"]
+    assert [p for _t, p in buf.due(100.0)] == ["c"]
